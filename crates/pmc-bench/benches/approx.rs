@@ -1,0 +1,44 @@
+//! Criterion bench for Theorem 3.1: hierarchy construction and the full
+//! approximation on heavy-weight graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_bench::workloads;
+use pmc_mincut::{approx_mincut, ApproxParams};
+use pmc_parallel::Meter;
+use pmc_sparsify::hierarchy::{CertificateHierarchy, ExclusiveHierarchy, HierarchyParams};
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_build");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let w = workloads::heavy(n, 99);
+        let params = HierarchyParams::practical(5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let h = ExclusiveHierarchy::build(&w.graph, &params, &Meter::disabled());
+                let cert =
+                    CertificateHierarchy::build(&w.graph, &h, &params, &Meter::disabled());
+                black_box(cert)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_mincut");
+    group.sample_size(10);
+    for n in [24usize, 48] {
+        let w = workloads::heavy(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(approx_mincut(&w.graph, &ApproxParams::default(), &Meter::disabled()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_approx);
+criterion_main!(benches);

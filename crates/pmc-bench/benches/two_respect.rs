@@ -1,0 +1,39 @@
+//! Criterion bench for Theorem 4.2: one 2-respecting solve per
+//! iteration, across sizes and densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_bench::workloads::graph_with_tree;
+use pmc_mincut::{naive_two_respecting, two_respecting_mincut, TwoRespectParams};
+use pmc_parallel::Meter;
+use pmc_tree::RootedTree;
+use std::hint::black_box;
+
+fn bench_two_respect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_respect");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let (g, edges) = graph_with_tree(n, 0.5, 1234);
+        let tree = RootedTree::from_edge_list(g.n(), &edges, 0);
+        group.bench_with_input(BenchmarkId::new("filtered", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(two_respecting_mincut(
+                    &g,
+                    &tree,
+                    &TwoRespectParams::default(),
+                    &Meter::disabled(),
+                ))
+            })
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(naive_two_respecting(&g, &tree, 0.25, &Meter::disabled()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_respect);
+criterion_main!(benches);

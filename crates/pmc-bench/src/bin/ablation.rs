@@ -1,0 +1,13 @@
+//! E-ablate — design ablations: decomposition strategy, Monge engine,
+//! ε, interest filter on/off.
+//! `cargo run -p pmc-bench --release --bin ablation [full]`
+
+use pmc_bench::experiments::run_ablation;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let n = if full { 2048 } else { 512 };
+    let t = run_ablation(n, 19);
+    t.print("Ablations — one 2-respecting solve, all variants must agree on the value");
+    println!("\nReading guide: the naive row shows the work the interest filter removes;\nD&C Monge trades a log factor of entries for parallel span.");
+}

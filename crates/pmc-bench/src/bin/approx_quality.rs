@@ -1,0 +1,12 @@
+//! E-3.1 — Theorem 3.1 approximation quality.
+//! `cargo run -p pmc-bench --release --bin approx_quality [full]`
+
+use pmc_bench::experiments::run_approx_quality;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let sizes: &[usize] = if full { &[24, 48, 96, 192] } else { &[24, 48] };
+    let t = run_approx_quality(sizes, 7);
+    t.print("Theorem 3.1 — approximation quality (λ̂/λ must stay within a constant band)");
+    println!("\nReading guide: λ̂/λ in [1/3, 3] = the O(1)-approximation; refined/λ near 1±ε = the refinement.");
+}

@@ -1,0 +1,12 @@
+//! E-depth — Brent-based depth estimate of the exact pipeline.
+//! `cargo run -p pmc-bench --release --bin depth_scaling [full]`
+
+use pmc_bench::experiments::run_depth_scaling;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let sizes: &[usize] = if full { &[128, 256, 512, 1024, 2048] } else { &[128, 256, 512] };
+    let t = run_depth_scaling(sizes, 13);
+    t.print("Depth — D̂ from T_p = W/p + D (Theorem 4.1 predicts D = O(log³ n))");
+    println!("\nReading guide: D̂/lg³n flattening = polylogarithmic depth in practice.");
+}

@@ -1,0 +1,12 @@
+//! E-4.18 — tree-packing statistics on planted-cut graphs.
+//! `cargo run -p pmc-bench --release --bin packing_stats [full]`
+
+use pmc_bench::experiments::run_packing_stats;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let sizes: &[usize] = if full { &[64, 128, 256, 512] } else { &[64, 128] };
+    let t = run_packing_stats(sizes, 23);
+    t.print("Theorem 4.18 — packing statistics (some tree must 2-respect the optimum)");
+    println!("\nReading guide: '2-respecting trees' ≥ 1 realizes Karger's packing guarantee.");
+}

@@ -1,0 +1,21 @@
+//! E-speedup — wall-clock scaling with threads (Brent's theorem).
+//! `cargo run -p pmc-bench --release --bin speedup [full]`
+
+use pmc_bench::experiments::run_speedup;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let n = if full { 2048 } else { 768 };
+    let max = rayon::current_num_threads().max(2);
+    let mut threads = vec![1usize, 2];
+    let mut p = 4;
+    while p <= max {
+        threads.push(p);
+        p *= 2;
+    }
+    if *threads.last().unwrap() != max {
+        threads.push(max);
+    }
+    let t = run_speedup(n, &threads, 17);
+    t.print("Speedup — exact pipeline wall time vs threads (O(W/p + D))");
+}

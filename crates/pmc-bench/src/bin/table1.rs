@@ -1,0 +1,17 @@
+//! T1 — regenerate Table 1 (work comparison) from measured operation
+//! counts. `cargo run -p pmc-bench --release --bin table1 [full]`
+
+use pmc_bench::experiments::run_table1;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let sizes: &[usize] =
+        if full { &[128, 256, 512, 1024, 2048] } else { &[128, 256, 512] };
+    let t = run_table1(sizes, 0x71);
+    t.print("Table 1 — total work: this paper vs the no-filter baseline (non-sparse m ~ n^1.5)");
+    println!(
+        "\nReading guide: 'ours/(m·lg n)' flattening = the O(m log n) work claim;\n\
+         'naive/(m·lg⁴n)' bounded = the baseline tracks the GG18-era m·polylog profile;\n\
+         'naive/ours' growing with n = the paper's Ω(log³ n) separation (Table 1's shape)."
+    );
+}

@@ -1,0 +1,374 @@
+//! Experiment runners (one per DESIGN.md experiment id).
+
+use crate::table::{fmt_count, Table};
+use crate::workloads;
+use pmc_graph::{stoer_wagner_mincut, Graph};
+use pmc_mincut::exact::exact_mincut_metered;
+use pmc_mincut::{
+    approx_mincut, approx_mincut_eps, exact_mincut, greedy_tree_packing, naive_two_respecting,
+    two_respecting_mincut, ApproxParams, ExactParams, PackingParams, TwoRespectParams,
+};
+use pmc_monge::RowMinimaAlgo;
+use pmc_parallel::meter::{CostKind, Meter};
+use pmc_tree::{PathStrategy, RootedTree};
+use std::time::Instant;
+
+fn lg(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// T1 — Table 1: measured work of this paper's algorithm against the
+/// measured "inspect everything" baseline (the work profile of the
+/// pre-interest-filter era, standing in for GG18) and the analytic
+/// curves of the three table rows.
+pub fn run_table1(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new([
+        "n",
+        "m",
+        "trees",
+        "ours ops",
+        "ours/(m·lg n)",
+        "naive ops (est)",
+        "naive/(m·lg⁴n)",
+        "naive/ours",
+    ]);
+    for &n in sizes {
+        let w = workloads::non_sparse(n, seed);
+        let g = w.graph;
+        let meter = Meter::enabled();
+        let res = exact_mincut_metered(&g, &ExactParams::default(), &meter);
+        let ours = meter.report().total_work();
+
+        // Naive per-tree cost, measured on one spanning tree and scaled
+        // by the tree count (the naive solver is identical per tree).
+        let (gg, tree_edges) = workloads::graph_with_tree(n, 0.5, seed ^ 0x77);
+        let tree = RootedTree::from_edge_list(gg.n(), &tree_edges, 0);
+        let meter2 = Meter::enabled();
+        let nv = naive_two_respecting(&gg, &tree, 0.25, &meter2);
+        assert!(nv.cut.value > 0);
+        let naive_est = meter2.report().total_work() * res.stats.num_trees.max(1) as u64;
+
+        let m = g.m() as f64;
+        let mlgn = m * lg(n);
+        let mlg4n = m * lg(n).powi(4);
+        t.row([
+            n.to_string(),
+            g.m().to_string(),
+            res.stats.num_trees.to_string(),
+            fmt_count(ours),
+            format!("{:.2}", ours as f64 / mlgn),
+            fmt_count(naive_est),
+            format!("{:.2}", naive_est as f64 / mlg4n),
+            format!("{:.1}x", naive_est as f64 / ours as f64),
+        ]);
+    }
+    t
+}
+
+/// E-4.2 — Theorem 4.2 scaling: work of one 2-respecting solve against
+/// `m log m + n log^3 n`.
+pub fn run_two_respect_scaling(sizes: &[usize], density: f64, seed: u64) -> Table {
+    let mut t = Table::new([
+        "n",
+        "m",
+        "cut queries",
+        "total ops",
+        "ops/(m·lg m + n·lg³n)",
+        "wall ms",
+    ]);
+    for &n in sizes {
+        let (g, tree_edges) = workloads::graph_with_tree(n, density, seed);
+        let tree = RootedTree::from_edge_list(g.n(), &tree_edges, 0);
+        let meter = Meter::enabled();
+        let t0 = Instant::now();
+        let out = two_respecting_mincut(&g, &tree, &TwoRespectParams::default(), &meter);
+        let wall = t0.elapsed();
+        assert!(out.cut.value > 0);
+        let rep = meter.report();
+        let m = g.m() as f64;
+        let bound = m * (m.max(2.0)).log2() + n as f64 * lg(n).powi(3);
+        t.row([
+            n.to_string(),
+            g.m().to_string(),
+            fmt_count(rep.work_of(CostKind::CutQuery)),
+            fmt_count(rep.total_work()),
+            format!("{:.3}", rep.total_work() as f64 / bound),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    t
+}
+
+/// E-3.1 — Theorem 3.1 quality: the constant-factor estimate and the
+/// `(1±ε)` refinement against the true minimum cut.
+pub fn run_approx_quality(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new([
+        "workload",
+        "true λ",
+        "approx λ̂",
+        "λ̂/λ",
+        "(1±¼) λ̂",
+        "refined/λ",
+        "matula(2.25)/λ",
+    ]);
+    for &n in sizes {
+        for w in [workloads::heavy(n, seed), workloads::planted(n, 4, seed)] {
+            let g = w.graph;
+            let truth = if g.n() <= 700 {
+                stoer_wagner_mincut(&g).value
+            } else {
+                exact_mincut(&g, &ExactParams::default()).cut.value
+            };
+            let params = ApproxParams::default();
+            let a = approx_mincut(&g, &params, &Meter::disabled());
+            let refined = approx_mincut_eps(&g, 0.25, &params, seed ^ 5, &Meter::disabled());
+            let matula = pmc_graph::matula_approx(&g, 0.25);
+            t.row([
+                w.name.clone(),
+                truth.to_string(),
+                a.lambda.to_string(),
+                format!("{:.3}", a.lambda as f64 / truth as f64),
+                refined.to_string(),
+                format!("{:.3}", refined as f64 / truth as f64),
+                format!("{:.3}", matula as f64 / truth as f64),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-4.24/25 + E-4.26 — the ε knob: range-structure work profile and
+/// end-to-end effect on one 2-respecting solve, dense vs sparse.
+pub fn run_eps_sweep(n: usize, eps_values: &[f64], seed: u64) -> Table {
+    let mut t = Table::new([
+        "regime",
+        "eps",
+        "build ops",
+        "query ops",
+        "total ops",
+        "wall ms",
+    ]);
+    for (regime, density) in [("dense", 0.8), ("sparse", 0.15)] {
+        let (g, tree_edges) = workloads::graph_with_tree(n, density, seed);
+        let tree = RootedTree::from_edge_list(g.n(), &tree_edges, 0);
+        for &eps in eps_values {
+            let params = TwoRespectParams { eps, ..TwoRespectParams::default() };
+            let build_meter = Meter::enabled();
+            // Separate build cost: a bare CutQuery build.
+            let lca = pmc_tree::LcaTable::build(&tree);
+            let _q = pmc_mincut::CutQuery::build(&g, &tree, &lca, eps, &build_meter);
+            let build_ops = build_meter.report().work_of(CostKind::RangeNode);
+
+            let meter = Meter::enabled();
+            let t0 = Instant::now();
+            let out = two_respecting_mincut(&g, &tree, &params, &meter);
+            let wall = t0.elapsed();
+            assert!(out.cut.value > 0);
+            let rep = meter.report();
+            let query_ops = rep.work_of(CostKind::RangeNode).saturating_sub(build_ops);
+            t.row([
+                regime.to_string(),
+                format!("{eps:.2}"),
+                fmt_count(build_ops),
+                fmt_count(query_ops),
+                fmt_count(rep.total_work()),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-depth — Brent-based depth estimate: `T_p = W/p + D` measured at
+/// `p = 1` and `p = max` gives `D ≈ (p·T_p − T_1)/(p − 1)`; the theorem
+/// predicts `D = O(log^3 n)`, so `D̂ / lg³ n` should flatten.
+pub fn run_depth_scaling(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(["n", "m", "T1 ms", "Tp ms", "p", "D̂ ms", "D̂/lg³n (µs)"]);
+    let p = rayon::current_num_threads().max(2);
+    for &n in sizes {
+        let w = workloads::non_sparse(n, seed);
+        let g = w.graph;
+        let run = |threads: usize| -> f64 {
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+            pool.install(|| {
+                let t0 = Instant::now();
+                let r = exact_mincut(&g, &ExactParams::default());
+                assert!(r.cut.value > 0);
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+        };
+        // Warm up, then take the best of 2 to damp noise.
+        let t1 = run(1).min(run(1));
+        let tp = run(p).min(run(p));
+        let d_hat = ((p as f64 * tp - t1) / (p as f64 - 1.0)).max(0.0);
+        t.row([
+            n.to_string(),
+            g.m().to_string(),
+            format!("{t1:.1}"),
+            format!("{tp:.1}"),
+            p.to_string(),
+            format!("{d_hat:.1}"),
+            format!("{:.1}", d_hat * 1e3 / lg(n).powi(3)),
+        ]);
+    }
+    t
+}
+
+/// E-speedup — Brent scheduling: wall time of the exact pipeline as the
+/// thread count grows.
+pub fn run_speedup(n: usize, threads: &[usize], seed: u64) -> Table {
+    let w = workloads::non_sparse(n, seed);
+    let g = w.graph;
+    let mut t = Table::new(["threads", "wall ms", "speedup"]);
+    let mut t1 = None;
+    for &p in threads {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(p).build().expect("pool");
+        let wall = pool.install(|| {
+            let t0 = Instant::now();
+            let r = exact_mincut(&g, &ExactParams::default());
+            assert!(r.cut.value > 0);
+            t0.elapsed().as_secs_f64() * 1e3
+        });
+        let base = *t1.get_or_insert(wall);
+        t.row([p.to_string(), format!("{wall:.1}"), format!("{:.2}x", base / wall)]);
+    }
+    t
+}
+
+/// E-ablate — design ablations on one fixed workload: decomposition
+/// strategy, Monge engine, ε, and the no-filter baseline.
+pub fn run_ablation(n: usize, seed: u64) -> Table {
+    let (g, tree_edges) = workloads::graph_with_tree(n, 0.5, seed);
+    let tree = RootedTree::from_edge_list(g.n(), &tree_edges, 0);
+    let mut t = Table::new(["variant", "cut queries", "monge entries", "total ops", "wall ms"]);
+    let reference = naive_value(&g, &tree);
+    let mut run = |name: &str, params: TwoRespectParams| {
+        let meter = Meter::enabled();
+        let t0 = Instant::now();
+        let out = two_respecting_mincut(&g, &tree, &params, &meter);
+        let wall = t0.elapsed();
+        assert_eq!(out.cut.value, reference, "{name} disagrees with the oracle");
+        let rep = meter.report();
+        t.row([
+            name.to_string(),
+            fmt_count(rep.work_of(CostKind::CutQuery)),
+            fmt_count(rep.work_of(CostKind::MongeEntry)),
+            fmt_count(rep.total_work()),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+        ]);
+    };
+    run("heavy-path + SMAWK (default)", TwoRespectParams::default());
+    run(
+        "bough + SMAWK",
+        TwoRespectParams { strategy: PathStrategy::Bough, ..TwoRespectParams::default() },
+    );
+    run(
+        "heavy-path + D&C monge",
+        TwoRespectParams {
+            monge_algo: RowMinimaAlgo::DivideConquer,
+            ..TwoRespectParams::default()
+        },
+    );
+    run("eps = 0.10", TwoRespectParams { eps: 0.10, ..TwoRespectParams::default() });
+    run("eps = 0.75", TwoRespectParams { eps: 0.75, ..TwoRespectParams::default() });
+    // The no-structure baseline.
+    {
+        let meter = Meter::enabled();
+        let t0 = Instant::now();
+        let out = naive_two_respecting(&g, &tree, 0.25, &meter);
+        let wall = t0.elapsed();
+        assert_eq!(out.cut.value, reference);
+        let rep = meter.report();
+        t.row([
+            "naive all-pairs (no filter)".to_string(),
+            fmt_count(rep.work_of(CostKind::CutQuery)),
+            fmt_count(rep.work_of(CostKind::MongeEntry)),
+            fmt_count(rep.total_work()),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    t
+}
+
+fn naive_value(g: &Graph, tree: &RootedTree) -> u64 {
+    naive_two_respecting(g, tree, 0.25, &Meter::disabled()).cut.value
+}
+
+/// E-4.18 — packing statistics on planted-cut workloads: tree counts and
+/// whether the packing contains a tree that 2-respects the optimum.
+pub fn run_packing_stats(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new([
+        "workload",
+        "iterations",
+        "distinct trees",
+        "2-respecting trees",
+        "min crossings",
+    ]);
+    for &n in sizes {
+        let w = workloads::planted(n, 4, seed);
+        let g = w.graph;
+        let packing = PackingParams::default();
+        let trees = greedy_tree_packing(&g.coalesced(), &packing, &Meter::disabled());
+        // The planted optimum: first half vs second half.
+        let half = g.n() / 2;
+        let crossings: Vec<usize> = trees
+            .iter()
+            .map(|tr| {
+                tr.iter()
+                    .filter(|&&(u, v)| ((u as usize) < half) != ((v as usize) < half))
+                    .count()
+            })
+            .collect();
+        let two_respecting = crossings.iter().filter(|&&c| c <= 2).count();
+        t.row([
+            w.name.clone(),
+            packing.iterations(g.n()).to_string(),
+            trees.len().to_string(),
+            two_respecting.to_string(),
+            crossings.iter().min().unwrap_or(&0).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_runs_small() {
+        let t = run_table1(&[48, 64], 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn two_respect_scaling_runs() {
+        let t = run_two_respect_scaling(&[64], 0.5, 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn approx_quality_runs() {
+        let t = run_approx_quality(&[20], 3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn eps_sweep_runs() {
+        let t = run_eps_sweep(64, &[0.2, 0.8], 4);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn ablation_runs_and_agrees() {
+        let t = run_ablation(48, 5);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn packing_stats_runs() {
+        let t = run_packing_stats(&[32], 6);
+        assert_eq!(t.len(), 1);
+    }
+}

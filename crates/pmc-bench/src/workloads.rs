@@ -1,0 +1,95 @@
+//! Standard workloads of the experiment suite.
+//!
+//! The paper's regimes: *non-sparse* (`m = n^{1+Ω(1)}`, where the
+//! algorithm is work-optimal), *sparse* (`m = O(n log n)`, where [AB21]
+//! wins Table 1), and structured graphs with planted cuts for quality
+//! experiments.
+
+use pmc_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named, seeded workload.
+pub struct Workload {
+    pub name: String,
+    pub graph: Graph,
+}
+
+/// Non-sparse random graph: `m ~ n^1.5`, unit-to-moderate weights.
+pub fn non_sparse(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::non_sparse(n, 0.5, 16, &mut rng);
+    Workload { name: format!("nonsparse n={n}"), graph }
+}
+
+/// Sparse random graph: `m ~ 4 n`.
+pub fn sparse(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::gnm_connected(n, 3 * n, 16, &mut rng);
+    Workload { name: format!("sparse n={n}"), graph }
+}
+
+/// Dense random graph: `m ~ n^1.8`.
+pub fn dense(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::non_sparse(n, 0.8, 16, &mut rng);
+    Workload { name: format!("dense n={n}"), graph }
+}
+
+/// Planted-cut community graph (known minimum cut = `bridges`).
+pub fn planted(n: usize, bridges: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::planted_bisection(n, 6 * n, bridges, 8, 1, &mut rng);
+    Workload { name: format!("planted n={n} b={bridges}"), graph }
+}
+
+/// Heavy-weight graph exercising the sampling hierarchy (min cut ≫ log n).
+pub fn heavy(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::heavy_cycle_with_chords(n, 2 * n, 4000, 120, &mut rng);
+    Workload { name: format!("heavy n={n}"), graph }
+}
+
+/// A uniform random spanning tree workload for per-tree experiments:
+/// returns `(graph, tree edge list)`.
+pub fn graph_with_tree(n: usize, density: f64, seed: u64) -> (Graph, Vec<(u32, u32)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::non_sparse(n, density, 16, &mut rng);
+    let forest =
+        pmc_parallel::spanning_forest::spanning_forest(&graph, &pmc_parallel::Meter::disabled());
+    let edges = forest
+        .iter()
+        .map(|&i| {
+            let e = graph.edge(i as usize);
+            (e.u, e.v)
+        })
+        .collect();
+    (graph, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_connected() {
+        for w in [non_sparse(64, 1), sparse(64, 2), dense(32, 3), planted(40, 3, 4), heavy(24, 5)]
+        {
+            assert!(w.graph.is_connected(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn tree_workload_spans() {
+        let (g, t) = graph_with_tree(50, 0.4, 9);
+        assert_eq!(t.len(), g.n() - 1);
+    }
+
+    #[test]
+    fn regimes_have_expected_density() {
+        let ns = non_sparse(256, 7);
+        assert!(ns.graph.m() >= 4000, "n^1.5 = 4096");
+        let sp = sparse(256, 8);
+        assert!(sp.graph.m() < 1300);
+    }
+}

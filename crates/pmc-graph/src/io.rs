@@ -1,0 +1,153 @@
+//! Plain-text graph exchange format.
+//!
+//! A DIMACS-flavoured line format:
+//!
+//! ```text
+//! p <n> <m>
+//! e <u> <v> <w>
+//! ...
+//! c free-form comment
+//! ```
+//!
+//! Vertices are 0-based. The format is intentionally minimal — it exists
+//! so experiment inputs can be checked in and replayed.
+
+use crate::graph::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+
+/// Serialization error for [`parse_graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    MissingHeader,
+    BadLine { line_no: usize, reason: String },
+    EdgeCountMismatch { declared: usize, found: usize },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing 'p <n> <m>' header line"),
+            ParseError::BadLine { line_no, reason } => {
+                write!(f, "line {line_no}: {reason}")
+            }
+            ParseError::EdgeCountMismatch { declared, found } => {
+                write!(f, "header declared {declared} edges but found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Render a graph in the text format.
+pub fn write_graph(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + g.m() * 12);
+    let _ = writeln!(out, "p {} {}", g.n(), g.m());
+    for e in g.edges() {
+        let _ = writeln!(out, "e {} {} {}", e.u, e.v, e.w);
+    }
+    out
+}
+
+/// Parse a graph from the text format.
+pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_m = 0usize;
+    let mut found_m = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("p") => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad n".into() })?;
+                declared_m = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad m".into() })?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or(ParseError::MissingHeader)?;
+                let u: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad u".into() })?;
+                let v: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad v".into() })?;
+                let w: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad w".into() })?;
+                b.add_edge(u, v, w);
+                found_m += 1;
+            }
+            Some(other) => {
+                return Err(ParseError::BadLine {
+                    line_no,
+                    reason: format!("unknown record '{other}'"),
+                })
+            }
+            None => {}
+        }
+    }
+    let b = builder.ok_or(ParseError::MissingHeader)?;
+    if declared_m != found_m {
+        return Err(ParseError::EdgeCountMismatch { declared: declared_m, found: found_m });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnm_connected(12, 20, 9, &mut rng);
+        let text = write_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g.n(), g2.n());
+        assert_eq!(g.m(), g2.m());
+        assert_eq!(g.total_weight(), g2.total_weight());
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "c hello\n\np 3 2\ne 0 1 4\nc mid comment\ne 1 2 6\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.total_weight(), 10);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(parse_graph("e 0 1 2\n"), Err(ParseError::MissingHeader)));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let err = parse_graph("p 3 5\ne 0 1 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::EdgeCountMismatch { declared: 5, found: 1 }));
+    }
+
+    #[test]
+    fn bad_line_reported_with_number() {
+        let err = parse_graph("p 3 1\ne 0 x 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line_no: 2, .. }));
+    }
+}

@@ -1,0 +1,231 @@
+//! Karger–Stein randomized recursive contraction.
+//!
+//! The classic `O(n^2 log^3 n)` Monte-Carlo minimum-cut algorithm. It
+//! predates the tree-packing line of work the paper builds on and plays
+//! the role of the "pre-Karger'00" baseline in the comparison
+//! experiments. Contractions operate on a dense weight matrix; edges
+//! are picked with probability proportional to weight.
+
+use crate::graph::{Graph, VertexId};
+use crate::CutResult;
+use rand::{Rng, RngExt};
+
+struct Contracted {
+    /// Dense symmetric weight matrix over active super-vertices.
+    w: Vec<Vec<u64>>,
+    /// Original vertices merged into each super-vertex.
+    merged: Vec<Vec<VertexId>>,
+    /// Active super-vertex indices.
+    active: Vec<usize>,
+    /// Total remaining weight (sum over active unordered pairs).
+    total: u64,
+}
+
+impl Contracted {
+    fn from_graph(g: &Graph) -> Self {
+        let n = g.n();
+        let mut w = vec![vec![0u64; n]; n];
+        for e in g.edges() {
+            w[e.u as usize][e.v as usize] += e.w;
+            w[e.v as usize][e.u as usize] += e.w;
+        }
+        Contracted {
+            w,
+            merged: (0..n as VertexId).map(|v| vec![v]).collect(),
+            active: (0..n).collect(),
+            total: g.total_weight(),
+        }
+    }
+
+    fn clone_state(&self) -> Self {
+        Contracted {
+            w: self.w.clone(),
+            merged: self.merged.clone(),
+            active: self.active.clone(),
+            total: self.total,
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Contract a weight-proportional random edge. No-op (returns false)
+    /// if no weight remains (disconnected remainder).
+    fn contract_random(&mut self, rng: &mut impl Rng) -> bool {
+        if self.total == 0 {
+            return false;
+        }
+        let mut target = rng.random_range(0..self.total);
+        let (mut a, mut b) = (usize::MAX, usize::MAX);
+        'outer: for (i, &u) in self.active.iter().enumerate() {
+            for &v in &self.active[i + 1..] {
+                let wt = self.w[u][v];
+                if target < wt {
+                    a = u;
+                    b = v;
+                    break 'outer;
+                }
+                target -= wt;
+            }
+        }
+        debug_assert!(a != usize::MAX);
+        self.contract_pair(a, b);
+        true
+    }
+
+    /// Merge super-vertex `b` into `a`.
+    fn contract_pair(&mut self, a: usize, b: usize) {
+        self.total -= self.w[a][b];
+        self.w[a][b] = 0;
+        self.w[b][a] = 0;
+        let bm = std::mem::take(&mut self.merged[b]);
+        self.merged[a].extend(bm);
+        let others: Vec<usize> =
+            self.active.iter().copied().filter(|&v| v != a && v != b).collect();
+        for v in others {
+            self.w[a][v] += self.w[b][v];
+            self.w[v][a] = self.w[a][v];
+            self.w[b][v] = 0;
+            self.w[v][b] = 0;
+        }
+        self.active.retain(|&v| v != b);
+    }
+
+    /// Contract until `t` super-vertices remain.
+    fn contract_to(&mut self, t: usize, rng: &mut impl Rng) {
+        while self.k() > t {
+            if !self.contract_random(rng) {
+                // Disconnected residue: any two non-adjacent supernodes
+                // witness a zero cut; merge arbitrarily.
+                let a = self.active[0];
+                let b = self.active[1];
+                self.contract_pair(a, b);
+            }
+        }
+    }
+
+    /// Cut value when exactly 2 super-vertices remain.
+    fn final_cut(&self) -> CutResult {
+        debug_assert_eq!(self.k(), 2);
+        let a = self.active[0];
+        let b = self.active[1];
+        let mut side = self.merged[a].clone();
+        side.sort_unstable();
+        CutResult { value: self.w[a][b], side }
+    }
+}
+
+fn recurse(state: &mut Contracted, rng: &mut impl Rng) -> CutResult {
+    let k = state.k();
+    if k <= 6 {
+        state.contract_to(2, rng);
+        return state.final_cut();
+    }
+    // t = ceil(1 + k / sqrt(2))
+    let t = (1.0 + k as f64 / std::f64::consts::SQRT_2).ceil() as usize;
+    let t = t.min(k - 1).max(2);
+    state.contract_to(t, rng);
+    let mut copy = state.clone_state();
+    let c1 = recurse(state, rng);
+    let c2 = recurse(&mut copy, rng);
+    c1.min(c2)
+}
+
+/// Randomized minimum cut via recursive contraction.
+///
+/// A single invocation succeeds with probability `Ω(1/log n)`; `trials`
+/// independent repetitions are taken and the best cut returned. With
+/// `trials = Θ(log^2 n)` the result is correct w.h.p.
+pub fn karger_stein_mincut(g: &Graph, trials: usize, rng: &mut impl Rng) -> CutResult {
+    if g.n() < 2 {
+        return CutResult::infinite();
+    }
+    if !g.is_connected() {
+        let labels = g.component_labels();
+        let side = (0..g.n() as VertexId).filter(|&v| labels[v as usize] == labels[0]).collect();
+        return CutResult { value: 0, side };
+    }
+    let mut best = CutResult::infinite();
+    for _ in 0..trials.max(1) {
+        let mut state = Contracted::from_graph(g);
+        let c = recurse(&mut state, rng);
+        best = best.min(c);
+    }
+    best
+}
+
+/// Default number of trials for w.h.p. correctness.
+pub fn default_trials(n: usize) -> usize {
+    let ln = (n.max(2) as f64).ln();
+    (ln * ln).ceil() as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::cut_of_partition;
+    use crate::stoer_wagner::stoer_wagner_mincut;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_stoer_wagner_on_structured() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for g in [
+            generators::dumbbell(5, 8, 2),
+            generators::ring_of_cliques(4, 3, 6, 1),
+            generators::grid(4, 4, 3),
+            generators::complete(8, 2),
+        ] {
+            let sw = stoer_wagner_mincut(&g);
+            let ks = karger_stein_mincut(&g, default_trials(g.n()), &mut rng);
+            assert_eq!(ks.value, sw.value);
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for n in [6, 10, 15, 22] {
+            let g = generators::gnm_connected(n, 3 * n, 9, &mut rng);
+            let sw = stoer_wagner_mincut(&g);
+            let ks = karger_stein_mincut(&g, default_trials(n) * 2, &mut rng);
+            assert_eq!(ks.value, sw.value, "n={n}");
+        }
+    }
+
+    #[test]
+    fn reported_side_realizes_value() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = generators::gnm_connected(12, 30, 5, &mut rng);
+        let ks = karger_stein_mincut(&g, default_trials(12), &mut rng);
+        let mut side = vec![false; g.n()];
+        for &v in &ks.side {
+            side[v as usize] = true;
+        }
+        assert_eq!(cut_of_partition(&g, &side), ks.value);
+    }
+
+    #[test]
+    fn never_below_true_minimum() {
+        // Any output is a real cut, hence an upper bound that can never
+        // undershoot the true minimum even with one trial.
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..10 {
+            let g = generators::gnm_connected(10, 20, 4, &mut rng);
+            let sw = stoer_wagner_mincut(&g);
+            let ks = karger_stein_mincut(&g, 1, &mut rng);
+            assert!(ks.value >= sw.value);
+        }
+    }
+
+    #[test]
+    fn disconnected_zero_cut() {
+        let g = Graph::from_edges(5, [(0, 1, 2), (1, 2, 2), (3, 4, 2)]);
+        let mut rng = StdRng::seed_from_u64(15);
+        let ks = karger_stein_mincut(&g, 3, &mut rng);
+        assert_eq!(ks.value, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Stoer–Wagner deterministic global minimum cut.
+//!
+//! The `O(n^3)` maximum-adjacency-search formulation over a dense
+//! weight matrix. It is the correctness oracle for every randomized
+//! algorithm in the workspace, and the "sequential exact" row of the
+//! comparison experiments on small graphs.
+
+use crate::graph::{Graph, VertexId};
+use crate::CutResult;
+
+/// Exact global minimum cut of a weighted undirected graph.
+///
+/// Returns the cut value and one side of the optimal partition. If the
+/// graph is disconnected the minimum cut is 0 and the returned side is
+/// one connected component. Graphs with fewer than 2 vertices have no
+/// cut; `CutResult::infinite()` is returned.
+/// # Example
+///
+/// ```
+/// use pmc_graph::{Graph, stoer_wagner_mincut};
+///
+/// let g = Graph::from_edges(3, [(0, 1, 5), (1, 2, 7), (0, 2, 11)]);
+/// let cut = stoer_wagner_mincut(&g);
+/// assert_eq!(cut.value, 12); // isolate vertex 1
+/// ```
+pub fn stoer_wagner_mincut(g: &Graph) -> CutResult {
+    let n = g.n();
+    if n < 2 {
+        return CutResult::infinite();
+    }
+    if !g.is_connected() {
+        let labels = g.component_labels();
+        let side = (0..n as VertexId).filter(|&v| labels[v as usize] == labels[0]).collect();
+        return CutResult { value: 0, side };
+    }
+
+    // Dense weight matrix with coalesced parallel edges.
+    let mut w = vec![vec![0u64; n]; n];
+    for e in g.edges() {
+        w[e.u as usize][e.v as usize] += e.w;
+        w[e.v as usize][e.u as usize] += e.w;
+    }
+
+    // merged[v] = original vertices currently contracted into v.
+    let mut merged: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best = CutResult::infinite();
+
+    while active.len() > 1 {
+        // Maximum adjacency search over the active vertices.
+        let k = active.len();
+        let mut in_a = vec![false; n];
+        let mut key = vec![0u64; n];
+        let start = active[0];
+        in_a[start] = true;
+        for &v in &active {
+            key[v] = w[start][v];
+        }
+        let mut prev = start;
+        let mut last = start;
+        for _ in 1..k {
+            let mut sel = usize::MAX;
+            let mut sel_key = 0u64;
+            for &v in &active {
+                if !in_a[v] && (sel == usize::MAX || key[v] > sel_key) {
+                    sel = v;
+                    sel_key = key[v];
+                }
+            }
+            in_a[sel] = true;
+            prev = last;
+            last = sel;
+            for &v in &active {
+                if !in_a[v] {
+                    key[v] += w[sel][v];
+                }
+            }
+        }
+
+        // Cut-of-the-phase: `last` versus the rest.
+        let phase_cut = key[last];
+        if phase_cut < best.value {
+            best = CutResult { value: phase_cut, side: merged[last].clone() };
+        }
+
+        // Contract `last` into `prev`.
+        let last_merged = std::mem::take(&mut merged[last]);
+        merged[prev].extend(last_merged);
+        for &v in &active {
+            if v != prev && v != last {
+                w[prev][v] += w[last][v];
+                w[v][prev] = w[prev][v];
+            }
+        }
+        active.retain(|&v| v != last);
+    }
+
+    best.side.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::cut_of_partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_side_matches_value(g: &Graph, cut: &CutResult) {
+        let mut side = vec![false; g.n()];
+        for &v in &cut.side {
+            side[v as usize] = true;
+        }
+        assert!(cut.side.len() < g.n() && !cut.side.is_empty(), "side must be a proper subset");
+        assert_eq!(cut_of_partition(g, &side), cut.value, "reported side must realize the value");
+    }
+
+    #[test]
+    fn two_vertices() {
+        let g = Graph::from_edges(2, [(0, 1, 7)]);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 7);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn triangle_min_degree() {
+        let g = Graph::from_edges(3, [(0, 1, 5), (1, 2, 7), (0, 2, 11)]);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 12); // isolate vertex 1
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn dumbbell_bridge() {
+        let g = generators::dumbbell(5, 10, 3);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 3);
+        assert_eq!(c.side.len(), 5);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn ring_of_cliques_two_bridges() {
+        let g = generators::ring_of_cliques(4, 4, 10, 1);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 2);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn grid_corner() {
+        let g = generators::grid(4, 5, 3);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 6);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn hypercube_vertex_isolation() {
+        let g = generators::hypercube(4, 2);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 8);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = generators::complete(6, 3);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 15);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn disconnected_graph_zero() {
+        let g = Graph::from_edges(4, [(0, 1, 2), (2, 3, 2)]);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 0);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn path_lightest_edge() {
+        let g = Graph::from_edges(4, [(0, 1, 9), (1, 2, 2), (2, 3, 8)]);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 2);
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn parallel_edges_coalesce() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (0, 1, 1), (1, 2, 3), (0, 2, 3)]);
+        let c = stoer_wagner_mincut(&g);
+        assert_eq!(c.value, 5); // isolate 0 or 1: 2+3
+        check_side_matches_value(&g, &c);
+    }
+
+    #[test]
+    fn random_graphs_side_consistency() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [5, 9, 16, 25] {
+            let g = generators::gnm_connected(n, 2 * n, 7, &mut rng);
+            let c = stoer_wagner_mincut(&g);
+            check_side_matches_value(&g, &c);
+            assert!(c.value <= g.min_weighted_degree());
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement_small() {
+        // Exhaustive over all 2^(n-1)-1 partitions for tiny graphs.
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let n = 4 + (trial % 4);
+            let g = generators::gnm_connected(n, n, 6, &mut rng);
+            let c = stoer_wagner_mincut(&g);
+            let mut best = u64::MAX;
+            for mask in 1..(1u32 << (n - 1)) {
+                let side: Vec<bool> = (0..n).map(|v| v > 0 && (mask >> (v - 1)) & 1 == 1).collect();
+                best = best.min(cut_of_partition(&g, &side));
+            }
+            assert_eq!(c.value, best, "trial {trial}");
+        }
+    }
+}

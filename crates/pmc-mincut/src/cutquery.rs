@@ -1,0 +1,359 @@
+//! The cut-query structure (Lemma A.1 / A.2).
+//!
+//! Tree edges are identified by their lower endpoint `v` (the child of
+//! the edge `(v, parent(v))`). Every graph edge `(a, b, w)` becomes two
+//! grid points `(post(a), post(b))` and `(post(b), post(a))`, so for
+//! disjoint postorder intervals `X, Y` the rectangle sum over `X x Y`
+//! counts each `X`–`Y` edge exactly once.
+//!
+//! We work with the *coverage* formulation (GMW'21 style, equivalent to
+//! the paper's three-case Lemma A.2; the equivalence is spelled out in
+//! DESIGN.md and verified by brute force in the tests):
+//!
+//! * `cov(e)`   — weight of graph edges whose tree path uses `e`; equals
+//!   the paper's `w(Te)` and is precomputed for all edges in `O(m log n
+//!   + n)` by the LCA difference trick.
+//! * `cov(e,f)` — weight of graph edges whose tree path uses both:
+//!   `w(Te, Tf)` when the subtrees are disjoint, `w(T_low, T \ T_high)`
+//!   when nested — one or two rectangle sums either way.
+//! * `cut(e,f) = cov(e) + cov(f) - 2 cov(e,f)` in *every* configuration.
+
+use pmc_graph::Graph;
+use pmc_parallel::meter::{CostKind, Meter};
+use pmc_range::{Point2, RangeTree2D};
+use pmc_tree::{LcaTable, RootedTree};
+
+/// Cut queries for a fixed spanning tree of a fixed graph.
+pub struct CutQuery<'a> {
+    g: &'a Graph,
+    tree: &'a RootedTree,
+    points: RangeTree2D,
+    /// `cov[v]` = `w(T_{e_v})` for the tree edge below `v`; 0 at the root.
+    cov: Vec<u64>,
+    /// Largest valid coordinate (`n - 1`).
+    max_coord: u32,
+}
+
+impl<'a> CutQuery<'a> {
+    /// Preprocess with the `n^eps`-degree range tree of Lemma 4.25.
+    /// `eps` close to `1/log n` gives the binary-tree profile; larger
+    /// `eps` trades query fan-out for height (Theorem 4.26's knob).
+    pub fn build(
+        g: &'a Graph,
+        tree: &'a RootedTree,
+        lca: &LcaTable,
+        eps: f64,
+        meter: &Meter,
+    ) -> Self {
+        let n = tree.n();
+        assert_eq!(g.n(), n, "graph and tree must share the vertex set");
+        // Grid points, both orientations.
+        let mut pts = Vec::with_capacity(g.m() * 2);
+        for e in g.edges() {
+            let (pu, pv) = (tree.post(e.u), tree.post(e.v));
+            pts.push(Point2 { x: pu, y: pv, w: e.w });
+            pts.push(Point2 { x: pv, y: pu, w: e.w });
+        }
+        let points = RangeTree2D::build(pts, n.max(2), eps, meter);
+        meter.record_depth("cutquery:range_height", points.height() as u64);
+
+        // cov via the LCA difference trick: +w at both endpoints, -2w at
+        // the LCA; subtree sums in postorder.
+        let mut diff = vec![0i64; n];
+        for e in g.edges() {
+            let l = lca.lca(e.u, e.v);
+            diff[e.u as usize] += e.w as i64;
+            diff[e.v as usize] += e.w as i64;
+            diff[l as usize] -= 2 * e.w as i64;
+        }
+        meter.add(CostKind::TreeOp, g.m() as u64 + n as u64);
+        let mut cov_acc = vec![0i64; n];
+        for idx in 0..n as u32 {
+            let v = tree.vertex_at_post(idx);
+            let mut acc = diff[v as usize];
+            for &c in tree.children(v) {
+                acc += cov_acc[c as usize];
+            }
+            cov_acc[v as usize] = acc;
+        }
+        let cov = cov_acc
+            .into_iter()
+            .map(|x| u64::try_from(x).expect("coverage must be non-negative"))
+            .collect();
+        CutQuery { g, tree, points, cov, max_coord: (n as u32).saturating_sub(1) }
+    }
+
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    #[inline]
+    pub fn tree(&self) -> &RootedTree {
+        self.tree
+    }
+
+    /// `w(Te)` for the edge below `v` — the 1-respecting cut value.
+    #[inline]
+    pub fn cov(&self, v: u32) -> u64 {
+        self.cov[v as usize]
+    }
+
+    /// Rectangle sum over `[x1,x2] x [y1,y2]` (inclusive; empty if
+    /// inverted).
+    pub fn rect(&self, x1: u32, x2: u32, y1: u32, y2: u32, meter: &Meter) -> u64 {
+        self.points.sum_rect(x1, x2, y1, y2, meter)
+    }
+
+    /// Weight of graph edges from inside subtree(`a`) to *outside*
+    /// subtree(`b`), where subtree(`a`) ⊆ subtree(`b`).
+    fn weight_to_outside(&self, a: u32, b: u32, meter: &Meter) -> u64 {
+        let (ax1, ax2) = (self.tree.start(a), self.tree.post(a));
+        let (bs, bp) = (self.tree.start(b), self.tree.post(b));
+        let mut total = 0;
+        if bs > 0 {
+            total += self.rect(ax1, ax2, 0, bs - 1, meter);
+        }
+        if bp < self.max_coord {
+            total += self.rect(ax1, ax2, bp + 1, self.max_coord, meter);
+        }
+        total
+    }
+
+    /// `cov(e, f)`: weight of graph edges covering both tree edges.
+    /// `e` and `f` are lower endpoints; must be distinct non-roots.
+    pub fn cov2(&self, e: u32, f: u32, meter: &Meter) -> u64 {
+        debug_assert_ne!(e, f);
+        meter.bump(CostKind::CutQuery);
+        let t = self.tree;
+        if t.is_ancestor(e, f) {
+            // f strictly below e: edges from T_f to outside T_e.
+            self.weight_to_outside(f, e, meter)
+        } else if t.is_ancestor(f, e) {
+            self.weight_to_outside(e, f, meter)
+        } else {
+            // Disjoint subtrees: edges between them.
+            self.rect(t.start(e), t.post(e), t.start(f), t.post(f), meter)
+        }
+    }
+
+    /// The 2-respecting cut value determined by tree edges `e` and `f`
+    /// (Lemma A.2): `cov(e) + cov(f) - 2 cov(e, f)`.
+    pub fn cut(&self, e: u32, f: u32, meter: &Meter) -> u64 {
+        if e == f {
+            return self.cov(e);
+        }
+        self.cov(e) + self.cov(f) - 2 * self.cov2(e, f, meter)
+    }
+
+    /// The vertex side realizing `cut(e, f)` (for result extraction):
+    /// nested: `T_high \ T_low`; disjoint: `T_e ∪ T_f`.
+    pub fn cut_side(&self, e: u32, f: u32) -> Vec<u32> {
+        let t = self.tree;
+        let interval = |v: u32| (t.start(v), t.post(v));
+        if e == f {
+            let (s, p) = interval(e);
+            return (s..=p).map(|i| t.vertex_at_post(i)).collect();
+        }
+        if t.is_ancestor(e, f) || t.is_ancestor(f, e) {
+            let (hi, lo) = if t.is_ancestor(e, f) { (e, f) } else { (f, e) };
+            let (hs, hp) = interval(hi);
+            let (ls, lp) = interval(lo);
+            (hs..=hp).filter(|&i| i < ls || i > lp).map(|i| t.vertex_at_post(i)).collect()
+        } else {
+            let (es, ep) = interval(e);
+            let (fs, fp) = interval(f);
+            (es..=ep).chain(fs..=fp).map(|i| t.vertex_at_post(i)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::graph::cut_of_partition;
+    use pmc_graph::{generators, Graph};
+    use pmc_parallel::spanning_forest::spanning_forest;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spanning_tree_of(g: &Graph, root: u32) -> RootedTree {
+        let forest = spanning_forest(g, &Meter::disabled());
+        let edges: Vec<(u32, u32)> =
+            forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
+        RootedTree::from_edge_list(g.n(), &edges, root)
+    }
+
+    /// Brute-force cov(e): edges with exactly one endpoint below v.
+    fn brute_cov(g: &Graph, t: &RootedTree, v: u32) -> u64 {
+        g.edges()
+            .iter()
+            .filter(|e| t.is_ancestor(v, e.u) != t.is_ancestor(v, e.v))
+            .map(|e| e.w)
+            .sum()
+    }
+
+    /// Brute-force cut(e, f) from the explicit vertex partition.
+    fn brute_cut(g: &Graph, t: &RootedTree, e: u32, f: u32) -> u64 {
+        let mut side = vec![false; g.n()];
+        if t.is_ancestor(e, f) || t.is_ancestor(f, e) {
+            let (hi, lo) = if t.is_ancestor(e, f) { (e, f) } else { (f, e) };
+            for v in 0..g.n() as u32 {
+                side[v as usize] = t.is_ancestor(hi, v) && !t.is_ancestor(lo, v);
+            }
+        } else {
+            for v in 0..g.n() as u32 {
+                side[v as usize] = t.is_ancestor(e, v) || t.is_ancestor(f, v);
+            }
+        }
+        cut_of_partition(g, &side)
+    }
+
+    #[test]
+    fn cov_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for trial in 0..10 {
+            let g = generators::gnm_connected(30, 60, 9, &mut rng);
+            let t = spanning_tree_of(&g, trial % 30);
+            let lca = LcaTable::build(&t);
+            let q = CutQuery::build(&g, &t, &lca, 0.3, &Meter::disabled());
+            for v in 0..30u32 {
+                if v == t.root() {
+                    continue;
+                }
+                assert_eq!(q.cov(v), brute_cov(&g, &t, v), "trial {trial} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_matches_bruteforce_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(102);
+        for trial in 0..6 {
+            let g = generators::gnm_connected(18, 40, 7, &mut rng);
+            let t = spanning_tree_of(&g, 0);
+            let lca = LcaTable::build(&t);
+            let q = CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+            let m = Meter::disabled();
+            for e in 1..18u32 {
+                for f in 1..18u32 {
+                    if e == f || e == t.root() || f == t.root() {
+                        continue;
+                    }
+                    assert_eq!(
+                        q.cut(e, f, &m),
+                        brute_cut(&g, &t, e, f),
+                        "trial {trial} pair ({e},{f})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cov2_symmetric() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let g = generators::gnm_connected(25, 70, 5, &mut rng);
+        let t = spanning_tree_of(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = CutQuery::build(&g, &t, &lca, 0.4, &Meter::disabled());
+        let m = Meter::disabled();
+        for e in 1..25u32 {
+            for f in e + 1..25u32 {
+                assert_eq!(q.cov2(e, f, &m), q.cov2(f, e, &m), "pair ({e},{f})");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_side_realizes_value() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let g = generators::gnm_connected(16, 35, 6, &mut rng);
+        let t = spanning_tree_of(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        let m = Meter::disabled();
+        for e in 1..16u32 {
+            for f in 1..16u32 {
+                if e == f {
+                    continue;
+                }
+                let side_vs = q.cut_side(e, f);
+                let mut side = vec![false; 16];
+                for &v in &side_vs {
+                    side[v as usize] = true;
+                }
+                assert_eq!(
+                    cut_of_partition(&g, &side),
+                    q.cut(e, f, &m),
+                    "pair ({e},{f})"
+                );
+                assert!(!side_vs.is_empty() && side_vs.len() < 16, "proper side");
+            }
+        }
+    }
+
+    #[test]
+    fn one_respecting_equals_cov() {
+        let mut rng = StdRng::seed_from_u64(105);
+        let g = generators::gnm_connected(20, 50, 4, &mut rng);
+        let t = spanning_tree_of(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        for v in 1..20u32 {
+            // cut(e, e) degenerates to the 1-respecting cut.
+            assert_eq!(q.cut(v, v, &Meter::disabled()), q.cov(v));
+            // And the side is the subtree.
+            let side_vs = q.cut_side(v, v);
+            assert_eq!(side_vs.len() as u32, t.size(v));
+        }
+    }
+
+    #[test]
+    fn eps_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(106);
+        let g = generators::gnm_connected(40, 120, 8, &mut rng);
+        let t = spanning_tree_of(&g, 0);
+        let lca = LcaTable::build(&t);
+        let m = Meter::disabled();
+        let q1 = CutQuery::build(&g, &t, &lca, 0.12, &m);
+        let q2 = CutQuery::build(&g, &t, &lca, 0.9, &m);
+        for e in 1..40u32 {
+            for f in (e + 1..40u32).step_by(3) {
+                assert_eq!(q1.cut(e, f, &m), q2.cut(e, f, &m));
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_cuts() {
+        // On a path graph with a path tree, cut(e_i, e_j) severs the
+        // middle segment: exactly the two tree edges (no non-tree edges).
+        let g = generators::path(10, 5);
+        let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let lca = LcaTable::build(&t);
+        let q = CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        let m = Meter::disabled();
+        for e in 1..10u32 {
+            assert_eq!(q.cov(e), 5, "each edge is a 1-cut of weight 5");
+            for f in e + 1..10u32 {
+                assert_eq!(q.cut(e, f, &m), 10, "two path edges sever 10");
+            }
+        }
+    }
+
+    #[test]
+    fn meter_counts_queries() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let g = generators::gnm_connected(12, 25, 3, &mut rng);
+        let t = spanning_tree_of(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        let meter = Meter::enabled();
+        let _ = q.cut(1, 2, &meter);
+        let _ = q.cut(3, 4, &meter);
+        assert_eq!(meter.get(CostKind::CutQuery), 2);
+        assert!(meter.get(CostKind::RangeNode) > 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! The exact minimum-cut pipeline (Theorems 4.1 and 4.26).
+//!
+//! ```text
+//! approx λ̃ (§3)  ->  skeleton (Thm 2.4 + Obs 4.22)
+//!               ->  sparse certificate (Thm 2.6)
+//!               ->  greedy tree packing (Thm 4.18)
+//!               ->  per packed tree: min 2-respecting cut in G (Thm 4.2)
+//! ```
+//!
+//! Every candidate the pipeline produces is a *real* cut of `G` (1- or
+//! 2-respecting values are evaluated in `G` itself, and the minimum
+//! weighted degree is always included), so the output can only ever
+//! over-estimate; with the packing guarantee it equals the minimum cut
+//! w.h.p. — the property the test-suite checks against Stoer–Wagner
+//! across seeds.
+
+use crate::approx::{approx_mincut, ApproxParams};
+use crate::packing::{greedy_tree_packing, PackingParams};
+use crate::two_respect::{two_respecting_mincut, TwoRespectParams};
+use pmc_graph::{CutResult, Graph};
+use pmc_parallel::meter::Meter;
+use pmc_sparsify::certificate::k_certificate;
+use pmc_sparsify::skeleton::{skeleton, skeleton_probability};
+use pmc_tree::RootedTree;
+use rayon::prelude::*;
+
+/// Parameters of the exact pipeline.
+#[derive(Debug, Clone)]
+pub struct ExactParams {
+    pub two_respect: TwoRespectParams,
+    pub packing: PackingParams,
+    pub approx: ApproxParams,
+    /// Skeleton oversampling constant (`c` in `p = c ln n / (ε² λ̃)`).
+    pub skeleton_c: f64,
+    /// Skeleton accuracy `ε` (paper: a small constant like 1/6).
+    pub skeleton_eps: f64,
+    /// Known min-cut (under)estimate; skips the approximation phase.
+    pub lambda_hint: Option<u64>,
+    /// RNG seed for skeleton sampling.
+    pub seed: u64,
+}
+
+impl Default for ExactParams {
+    fn default() -> Self {
+        ExactParams {
+            two_respect: TwoRespectParams::default(),
+            packing: PackingParams::default(),
+            approx: ApproxParams::default(),
+            skeleton_c: 12.0,
+            skeleton_eps: 1.0 / 3.0,
+            lambda_hint: None,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Diagnostics of one exact run.
+#[derive(Debug, Clone, Default)]
+pub struct ExactStats {
+    /// The constant-factor underestimate used for sampling.
+    pub lambda_estimate: u64,
+    /// Skeleton sampling probability actually used.
+    pub skeleton_p: f64,
+    /// Edges of the skeleton after sampling.
+    pub skeleton_edges: usize,
+    /// Total weight of the packing input (after the certificate).
+    pub certificate_weight: u64,
+    /// Distinct trees the packing produced.
+    pub num_trees: usize,
+}
+
+/// Result of the exact pipeline.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    pub cut: CutResult,
+    pub stats: ExactStats,
+}
+
+impl ExactParams {
+    /// Paper-faithful constants throughout (see `ApproxParams::paper`);
+    /// the sampling machinery then only engages for min-cuts far above
+    /// `log n`, exactly as in the paper's regime.
+    pub fn paper(seed: u64) -> Self {
+        ExactParams {
+            approx: ApproxParams::paper(seed),
+            skeleton_c: 36.0,
+            skeleton_eps: 1.0 / 6.0,
+            seed,
+            ..ExactParams::default()
+        }
+    }
+}
+
+/// Exact minimum cut of `g` (Theorem 4.1 / 4.26), w.h.p.
+pub fn exact_mincut(g: &Graph, params: &ExactParams) -> ExactResult {
+    exact_mincut_metered(g, params, &Meter::disabled())
+}
+
+/// [`exact_mincut`] with work-span accounting.
+pub fn exact_mincut_metered(g: &Graph, params: &ExactParams, meter: &Meter) -> ExactResult {
+    if g.n() < 2 {
+        return ExactResult { cut: CutResult::infinite(), stats: ExactStats::default() };
+    }
+    if !g.is_connected() {
+        let labels = g.component_labels();
+        let side = (0..g.n() as u32).filter(|&v| labels[v as usize] == labels[0]).collect();
+        return ExactResult { cut: CutResult { value: 0, side }, stats: ExactStats::default() };
+    }
+    let gc = g.coalesced();
+    let mut stats = ExactStats::default();
+
+    // Phase 1: constant-factor underestimate of the min cut.
+    let lambda_est = match params.lambda_hint {
+        Some(l) => l.max(1),
+        None => {
+            let a = approx_mincut(&gc, &params.approx, meter);
+            (a.lambda / 2).max(1)
+        }
+    };
+    stats.lambda_estimate = lambda_est;
+
+    // Phase 2: skeleton (p from Theorem 2.4; weights capped per
+    // Observation 4.22). If the estimate was too optimistic and the
+    // skeleton disconnects, re-sample denser: a disconnected skeleton
+    // can only happen when p λ is too small, so doubling p restores the
+    // Theorem 2.4 regime within O(log) retries.
+    let eps = params.skeleton_eps;
+    let cap_scale = (params.skeleton_c * (gc.n().max(2) as f64).ln() / (eps * eps)).ceil();
+    let cap = (8.0 * cap_scale) as u64;
+    let mut p = skeleton_probability(gc.n(), eps, lambda_est, params.skeleton_c);
+    let mut h = skeleton(&gc, p, cap, params.seed, meter);
+    let mut retries = 0;
+    while !h.is_connected() && p < 1.0 {
+        p = (p * 2.0).min(1.0);
+        retries += 1;
+        h = skeleton(&gc, p, cap, params.seed.wrapping_add(retries), meter);
+    }
+    stats.skeleton_p = p;
+    stats.skeleton_edges = h.m();
+
+    // Phase 3: sparse certificate bounds the packing input weight.
+    let k_cert = 2 * cap;
+    let hc = k_certificate(&h, k_cert, meter);
+    stats.certificate_weight = hc.total_weight();
+
+    // Phase 4: greedy packing.
+    let trees = greedy_tree_packing(&hc, &params.packing, meter);
+    stats.num_trees = trees.len();
+
+    // Phase 5: per-tree 2-respecting minimum cuts in the original graph,
+    // in parallel (the paper's outermost parallel loop).
+    let from_trees = trees
+        .par_iter()
+        .map(|edges| {
+            let tree = RootedTree::from_edge_list(gc.n(), edges, 0);
+            let out = two_respecting_mincut(&gc, &tree, &params.two_respect, meter);
+            out.cut
+        })
+        .reduce(CutResult::infinite, CutResult::min);
+
+    // Always-valid fallback candidate: the minimum weighted degree.
+    let (v, d) = gc.min_weighted_degree_vertex();
+    let degree_cut = CutResult { value: d, side: vec![v] };
+
+    ExactResult { cut: from_trees.min(degree_cut), stats }
+}
+
+/// Exact min-cut for graphs whose minimum cut is already `O(polylog)`
+/// (certificates, skeletons, hierarchy layers): packs trees directly on
+/// `g` without the sampling phases. Returns a valid cut value of `g`
+/// always; equals the minimum w.h.p. whenever the min cut is small
+/// enough for the packing iteration budget — exactly the regime §3 uses
+/// it in (layer classification errs only upward, which Claim 3.13
+/// tolerates).
+pub fn mincut_small(
+    g: &Graph,
+    two_respect: &TwoRespectParams,
+    packing: &PackingParams,
+    meter: &Meter,
+) -> CutResult {
+    if g.n() < 2 {
+        return CutResult::infinite();
+    }
+    if !g.is_connected() {
+        let labels = g.component_labels();
+        let side = (0..g.n() as u32).filter(|&v| labels[v as usize] == labels[0]).collect();
+        return CutResult { value: 0, side };
+    }
+    let trees = greedy_tree_packing(g, packing, meter);
+    let from_trees = trees
+        .par_iter()
+        .map(|edges| {
+            let tree = RootedTree::from_edge_list(g.n(), edges, 0);
+            two_respecting_mincut(g, &tree, two_respect, meter).cut
+        })
+        .reduce(CutResult::infinite, CutResult::min);
+    let (v, d) = g.min_weighted_degree_vertex();
+    from_trees.min(CutResult { value: d, side: vec![v] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::graph::cut_of_partition;
+    use pmc_graph::{generators, stoer_wagner_mincut};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_exact(g: &Graph, params: &ExactParams, label: &str) {
+        let expect = stoer_wagner_mincut(g).value;
+        let got = exact_mincut(g, params);
+        assert_eq!(got.cut.value, expect, "{label}");
+        // The reported side must realize the value.
+        let mut side = vec![false; g.n()];
+        for &v in &got.cut.side {
+            side[v as usize] = true;
+        }
+        assert_eq!(cut_of_partition(g, &side), got.cut.value, "{label} side");
+    }
+
+    #[test]
+    fn structured_graphs_exact() {
+        let params = ExactParams::default();
+        assert_exact(&generators::dumbbell(8, 10, 3), &params, "dumbbell");
+        assert_exact(&generators::ring_of_cliques(4, 5, 6, 2), &params, "ring");
+        assert_exact(&generators::grid(5, 6, 4), &params, "grid");
+        assert_exact(&generators::hypercube(4, 3), &params, "hypercube");
+        assert_exact(&generators::complete(12, 2), &params, "complete");
+        assert_exact(&generators::cycle(25, 7), &params, "cycle");
+    }
+
+    #[test]
+    fn random_graphs_exact_many_seeds() {
+        let mut rng = StdRng::seed_from_u64(601);
+        for trial in 0..10 {
+            let n = 12 + trial * 2;
+            let g = generators::gnm_connected(n, 3 * n, 9, &mut rng);
+            let params = ExactParams { seed: 700 + trial as u64, ..ExactParams::default() };
+            assert_exact(&g, &params, &format!("trial {trial}"));
+        }
+    }
+
+    #[test]
+    fn weighted_random_graphs_exact() {
+        let mut rng = StdRng::seed_from_u64(602);
+        for trial in 0..6 {
+            let g = generators::gnm_connected(16, 60, 1000, &mut rng);
+            let params = ExactParams { seed: trial, ..ExactParams::default() };
+            assert_exact(&g, &params, &format!("weighted {trial}"));
+        }
+    }
+
+    #[test]
+    fn heavy_min_cut_graphs_exact() {
+        // Min-cut large enough that the skeleton genuinely subsamples.
+        let mut rng = StdRng::seed_from_u64(603);
+        for trial in 0..4 {
+            let g = generators::heavy_cycle_with_chords(14, 20, 3000, 80, &mut rng);
+            let params = ExactParams { seed: 40 + trial, ..ExactParams::default() };
+            assert_exact(&g, &params, &format!("heavy {trial}"));
+        }
+    }
+
+    #[test]
+    fn trivial_and_degenerate() {
+        let params = ExactParams::default();
+        // Single vertex: no cut.
+        let g1 = Graph::from_edges(1, []);
+        assert_eq!(exact_mincut(&g1, &params).cut.value, u64::MAX);
+        // Two vertices.
+        let g2 = Graph::from_edges(2, [(0, 1, 9)]);
+        assert_eq!(exact_mincut(&g2, &params).cut.value, 9);
+        // Disconnected.
+        let g3 = Graph::from_edges(4, [(0, 1, 2), (2, 3, 2)]);
+        let r = exact_mincut(&g3, &params);
+        assert_eq!(r.cut.value, 0);
+        assert!(!r.cut.side.is_empty() && r.cut.side.len() < 4);
+    }
+
+    #[test]
+    fn lambda_hint_short_circuits_approx() {
+        let g = generators::dumbbell(8, 10, 3);
+        let params = ExactParams { lambda_hint: Some(2), ..ExactParams::default() };
+        let r = exact_mincut(&g, &params);
+        assert_eq!(r.cut.value, 3);
+        assert_eq!(r.stats.lambda_estimate, 2);
+    }
+
+    #[test]
+    fn mincut_small_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(604);
+        for trial in 0..8 {
+            let g = generators::gnm_connected(15, 45, 6, &mut rng);
+            let got = mincut_small(
+                &g,
+                &TwoRespectParams::default(),
+                &PackingParams::default(),
+                &Meter::disabled(),
+            );
+            let expect = stoer_wagner_mincut(&g).value;
+            assert_eq!(got.value, expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn parallel_multigraph_input() {
+        // Parallel edges must coalesce, not confuse the pipeline.
+        let g = Graph::from_edges(
+            4,
+            [(0, 1, 2), (0, 1, 3), (1, 2, 4), (2, 3, 4), (3, 0, 1), (1, 3, 2)],
+        );
+        assert_exact(&g, &ExactParams::default(), "multigraph");
+    }
+
+    #[test]
+    fn stats_populated() {
+        let g = generators::ring_of_cliques(4, 4, 5, 2);
+        let r = exact_mincut(&g, &ExactParams::default());
+        assert!(r.stats.num_trees >= 1);
+        assert!(r.stats.skeleton_p > 0.0);
+        assert!(r.stats.lambda_estimate >= 1);
+    }
+
+    use pmc_graph::Graph;
+}

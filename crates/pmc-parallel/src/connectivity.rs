@@ -1,0 +1,134 @@
+//! Shiloach–Vishkin style label-propagation connectivity.
+//!
+//! An alternative to the union-find forest with a PRAM pedigree closer
+//! to the paper's citations ([SV82]): every vertex carries a label,
+//! rounds of parallel *hooking* (adopt the smaller neighbouring label)
+//! and *pointer jumping* (label <- label of label) converge in
+//! `O(log n)` rounds. Used as a cross-check for the union-find
+//! implementation and as the connectivity probe in tests.
+
+use pmc_graph::Graph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Connected-component labels; two vertices share a label iff they are
+/// connected. Labels are component minima (deterministic).
+pub fn sv_component_labels(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    loop {
+        let changed = AtomicBool::new(false);
+        // Hooking: each edge pulls both endpoint labels to their minimum.
+        g.edges().par_iter().for_each(|e| {
+            let lu = label[e.u as usize].load(Ordering::Relaxed);
+            let lv = label[e.v as usize].load(Ordering::Relaxed);
+            if lu < lv {
+                if label[e.v as usize].fetch_min(lu, Ordering::Relaxed) > lu {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            } else if lv < lu && label[e.u as usize].fetch_min(lv, Ordering::Relaxed) > lv {
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+        // Pointer jumping until labels are fixpoints of themselves.
+        loop {
+            let jumped = AtomicBool::new(false);
+            (0..n).into_par_iter().for_each(|v| {
+                let l = label[v].load(Ordering::Relaxed);
+                let ll = label[l as usize].load(Ordering::Relaxed);
+                if ll < l {
+                    label[v].fetch_min(ll, Ordering::Relaxed);
+                    jumped.store(true, Ordering::Relaxed);
+                }
+            });
+            if !jumped.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    label.into_iter().map(|a| a.into_inner()).collect()
+}
+
+/// Number of connected components via [`sv_component_labels`].
+pub fn sv_num_components(g: &Graph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    let labels = sv_component_labels(g);
+    let mut sorted = labels;
+    sorted.par_sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_component() {
+        let g = generators::cycle(50, 1);
+        let labels = sv_component_labels(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = Graph::from_edges(7, [(0, 1, 1), (2, 3, 1), (3, 4, 1)]);
+        let labels = sv_component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        // 5 and 6 are isolated singletons.
+        assert_eq!(sv_num_components(&g), 4);
+    }
+
+    #[test]
+    fn matches_bfs_labels_on_random() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..5 {
+            let g = generators::gnm_multi(200, 250, 3, &mut rng);
+            let sv = sv_component_labels(&g);
+            let bfs = g.component_labels();
+            // Same partition: equal labels iff equal labels.
+            for u in 0..g.n() {
+                for v in u + 1..g.n() {
+                    assert_eq!(
+                        sv[u] == sv[v],
+                        bfs[u] == bfs[v],
+                        "partition mismatch at ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []);
+        assert_eq!(sv_num_components(&g), 0);
+        let g1 = Graph::from_edges(3, []);
+        assert_eq!(sv_num_components(&g1), 3);
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = Graph::from_edges(6, [(5, 4, 1), (4, 3, 1), (1, 2, 1)]);
+        let labels = sv_component_labels(&g);
+        assert_eq!(labels[3], 3);
+        assert_eq!(labels[4], 3);
+        assert_eq!(labels[5], 3);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[2], 1);
+        assert_eq!(labels[0], 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Parallel primitives and work-span accounting.
+//!
+//! The paper analyses algorithms in the work-depth (work-span) model
+//! (§2.1): *work* is the total number of operations, *depth* the longest
+//! chain of dependent operations; Brent's theorem turns `(W, D)` into
+//! `O(W/p + D)` running time on `p` processors. Rayon's work-stealing
+//! scheduler realizes Brent's bound, but a laptop cannot *measure* PRAM
+//! work or depth directly — so this crate provides:
+//!
+//! * [`meter`]: cheap atomic operation counters ([`Meter`]) and per-phase
+//!   critical-path gauges that the algorithm crates use to report
+//!   empirical work/depth, letting the benches regenerate the paper's
+//!   Table 1 from measured counts;
+//! * [`scan`]: parallel prefix sums;
+//! * [`merge`]: parallel merge / merge sort / stream compaction;
+//! * [`sort`]: a parallel LSD radix sort (the paper's sorting primitive,
+//!   [Ble96]);
+//! * [`union_find`]: sequential and lock-free concurrent union-find;
+//! * [`spanning_forest`]: parallel spanning forests (the Halperin–Zwick
+//!   substitute used by Theorem 2.6's certificates);
+//! * [`connectivity`]: Shiloach–Vishkin style label-propagation
+//!   connected components;
+//! * [`mst`]: parallel Borůvka and sequential Kruskal minimum spanning
+//!   forests with caller-supplied keys (the packing step of §4.2 needs
+//!   MSTs with respect to dynamic loads).
+
+pub mod connectivity;
+pub mod merge;
+pub mod meter;
+pub mod mst;
+pub mod scan;
+pub mod sort;
+pub mod spanning_forest;
+pub mod union_find;
+
+pub use meter::{CostKind, CostReport, Meter};
+pub use union_find::{ConcurrentUnionFind, UnionFind};

@@ -1,0 +1,118 @@
+//! Parallel prefix sums (scans).
+//!
+//! The classic two-pass chunked scan: partition the input into
+//! `O(num_threads)` chunks, sum each chunk in parallel, exclusive-scan
+//! the chunk totals sequentially (tiny), then rescan each chunk with its
+//! offset in parallel. Work `O(n)`, depth `O(n / p + p)` which is
+//! `O(log n)`-equivalent for the chunk counts used here.
+
+use rayon::prelude::*;
+
+/// Minimum chunk length before the parallel path engages; below this a
+/// sequential scan is faster.
+const SEQ_CUTOFF: usize = 1 << 14;
+
+/// In-place exclusive prefix sum; returns the total.
+///
+/// After the call, `data[i]` holds the sum of the *original*
+/// `data[..i]`.
+pub fn exclusive_scan_in_place(data: &mut [u64]) -> u64 {
+    if data.len() < SEQ_CUTOFF {
+        let mut acc = 0u64;
+        for x in data.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc += v;
+        }
+        return acc;
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = data.len().div_ceil(4 * threads).max(1);
+    let mut partials: Vec<u64> =
+        data.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    let mut acc = 0u64;
+    for p in partials.iter_mut() {
+        let v = *p;
+        *p = acc;
+        acc += v;
+    }
+    data.par_chunks_mut(chunk).zip(partials.par_iter()).for_each(|(c, &offset)| {
+        let mut local = offset;
+        for x in c.iter_mut() {
+            let v = *x;
+            *x = local;
+            local += v;
+        }
+    });
+    acc
+}
+
+/// Exclusive prefix sum into a fresh vector; the returned vector has
+/// `data.len() + 1` entries, the last being the grand total.
+pub fn exclusive_scan(data: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(data.len() + 1);
+    out.extend_from_slice(data);
+    let total = exclusive_scan_in_place(&mut out);
+    out.push(total);
+    out
+}
+
+/// Inclusive prefix sum into a fresh vector.
+pub fn inclusive_scan(data: &[u64]) -> Vec<u64> {
+    let ex = exclusive_scan(data);
+    (0..data.len()).map(|i| ex[i + 1]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn exclusive_small() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = exclusive_scan_in_place(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn exclusive_empty_and_single() {
+        let mut v: Vec<u64> = vec![];
+        assert_eq!(exclusive_scan_in_place(&mut v), 0);
+        let mut v = vec![7u64];
+        assert_eq!(exclusive_scan_in_place(&mut v), 7);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn exclusive_matches_sequential_large() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let data: Vec<u64> = (0..100_000).map(|_| rng.random_range(0..1000)).collect();
+        let mut expect = Vec::with_capacity(data.len());
+        let mut acc = 0u64;
+        for &x in &data {
+            expect.push(acc);
+            acc += x;
+        }
+        let mut got = data.clone();
+        let total = exclusive_scan_in_place(&mut got);
+        assert_eq!(got, expect);
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn scan_vector_form() {
+        let out = exclusive_scan(&[2, 2, 2]);
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn inclusive_matches() {
+        let out = inclusive_scan(&[3, 1, 4]);
+        assert_eq!(out, vec![3, 4, 8]);
+        let empty: Vec<u64> = vec![];
+        assert!(inclusive_scan(&empty).is_empty());
+    }
+}

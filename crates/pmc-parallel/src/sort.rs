@@ -1,0 +1,168 @@
+//! Parallel LSD radix sort.
+//!
+//! The paper invokes "a parallel radix sort algorithm [Ble96]" whenever
+//! points must be ordered by postorder index (Lemmas 4.24/4.25, A.1).
+//! Keys here are `u64` but callers sort postorder indices bounded by
+//! `n`, so the digit loop terminates after the significant bytes.
+//!
+//! The implementation is the textbook counting-sort-per-byte with
+//! per-chunk histograms combined by a scan — `O(n)` work per digit and
+//! logarithmic depth per digit modulo chunk granularity. A pair form
+//! [`radix_sort_by_key`] carries a payload.
+
+use rayon::prelude::*;
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Sort `items` ascending by `key(item)`.
+pub fn radix_sort_by_key<T, F>(items: &mut Vec<T>, key: F)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    if n < SEQ_CUTOFF {
+        items.sort_unstable_by_key(|it| key(it));
+        return;
+    }
+    let max_key = items.par_iter().map(&key).max().unwrap_or(0);
+    let passes = if max_key == 0 {
+        1
+    } else {
+        ((64 - max_key.leading_zeros()).div_ceil(RADIX_BITS)) as usize
+    };
+
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(4 * threads).max(1);
+    let num_chunks = n.div_ceil(chunk);
+    let mut buf: Vec<T> = vec![T::default(); n];
+
+    for pass in 0..passes {
+        let shift = (pass as u32) * RADIX_BITS;
+        // Per-chunk histograms.
+        let histograms: Vec<[u32; BUCKETS]> = items
+            .par_chunks(chunk)
+            .map(|c| {
+                let mut h = [0u32; BUCKETS];
+                for it in c {
+                    h[((key(it) >> shift) as usize) & (BUCKETS - 1)] += 1;
+                }
+                h
+            })
+            .collect();
+        // Global bucket offsets: for stability, chunk c's bucket b region
+        // starts at sum of all buckets < b plus bucket b of chunks < c.
+        let mut offsets = vec![0u64; num_chunks * BUCKETS];
+        {
+            let mut acc = 0u64;
+            for b in 0..BUCKETS {
+                for (c, h) in histograms.iter().enumerate() {
+                    offsets[c * BUCKETS + b] = acc;
+                    acc += h[b] as u64;
+                }
+            }
+        }
+        // Scatter.
+        let buf_ptr = SendPtr(buf.as_mut_ptr());
+        items.par_chunks(chunk).enumerate().for_each(|(c, chunk_items)| {
+            let mut cursors = [0u64; BUCKETS];
+            cursors.copy_from_slice(&offsets[c * BUCKETS..(c + 1) * BUCKETS]);
+            let ptr = buf_ptr;
+            for it in chunk_items {
+                let b = ((key(it) >> shift) as usize) & (BUCKETS - 1);
+                // SAFETY: every (chunk, bucket) writes a disjoint range of
+                // `buf` as computed by the exclusive scan above.
+                unsafe {
+                    *ptr.0.add(cursors[b] as usize) = *it;
+                }
+                cursors[b] += 1;
+            }
+        });
+        std::mem::swap(items, &mut buf);
+    }
+}
+
+/// Sort a vector of `u64` keys ascending.
+pub fn radix_sort(keys: &mut Vec<u64>) {
+    radix_sort_by_key(keys, |&k| k);
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: the scatter phase partitions the output index space across
+// threads; no two threads write the same element.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn sorts_small() {
+        let mut v = vec![5u64, 3, 9, 1, 1, 0];
+        radix_sort(&mut v);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_empty_and_single() {
+        let mut v: Vec<u64> = vec![];
+        radix_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![42u64];
+        radix_sort(&mut v);
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn sorts_large_random() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u64> = (0..200_000).map(|_| rng.random_range(0..u64::MAX)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_pairs_stably_within_key() {
+        // Payload order for equal keys must be preserved (LSD stability).
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut v: Vec<(u64, u64)> =
+            (0..50_000u64).map(|i| (rng.random_range(0..100), i)).collect();
+        let expect = {
+            let mut e = v.clone();
+            e.sort_by_key(|&(k, _)| k);
+            e
+        };
+        radix_sort_by_key(&mut v, |&(k, _)| k);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let mut v: Vec<(u64, u64)> = (0..30_000u64).map(|i| (7, i)).collect();
+        radix_sort_by_key(&mut v, |&(k, _)| k);
+        // Stability: payloads remain in original order.
+        assert!(v.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn keys_spanning_many_bytes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u64> =
+            (0..40_000).map(|_| rng.random_range(0..1u64 << 48)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+}

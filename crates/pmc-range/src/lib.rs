@@ -1,0 +1,69 @@
+//! Parallel orthogonal range-sum structures (§4.3 and Appendix A).
+//!
+//! The cut-query structure of Lemma A.1 reduces `cut(e, f)` to at most
+//! two rectangle-sum queries over `m` weighted points in the
+//! `[n] x [n]` grid. The paper's data structures are complete trees of
+//! degree `n^ε`:
+//!
+//! * [`WeightTree1D`] — Lemma 4.24: `O(m/ε)` work, `O(log n)` depth to
+//!   build; interval sums with `O(n^ε/ε)` work.
+//! * [`RangeTree2D`] — Lemma 4.25: the two-level construction (x-tree
+//!   with y-sorted auxiliary arrays per node). Auxiliary interval sums
+//!   use prefix arrays + binary search, which never exceeds the lemma's
+//!   `O(n^ε/ε)` aux-query bound for `ε ≥ 1/log n` (see DESIGN.md).
+//! * [`PrefixSumIndex`] — the sorted-array + prefix-sum baseline used as
+//!   the 1-D oracle and in ablation benches.
+//!
+//! The `ε` parameter trades query fan-out against tree height exactly as
+//! in Theorem 4.26; [`degree_for_eps`] maps `ε` to the branching factor.
+
+pub mod prefix;
+pub mod tree1d;
+pub mod tree2d;
+
+pub use prefix::PrefixSumIndex;
+pub use tree1d::WeightTree1D;
+pub use tree2d::RangeTree2D;
+
+/// A weighted point on the line (for 1-D) — `x` is the coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Point1 {
+    pub x: u32,
+    pub w: u64,
+}
+
+/// A weighted point in the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Point2 {
+    pub x: u32,
+    pub y: u32,
+    pub w: u64,
+}
+
+/// Branching factor `max(2, ceil(universe^eps))` for a given `ε`, the
+/// paper's `n^ε` degree (footnote 9: `ε > 1/log n` so the degree is at
+/// least 2).
+pub fn degree_for_eps(universe: usize, eps: f64) -> usize {
+    if universe <= 2 {
+        return 2;
+    }
+    let d = (universe as f64).powf(eps).ceil() as usize;
+    d.clamp(2, universe.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_bounds() {
+        assert_eq!(degree_for_eps(0, 0.5), 2);
+        assert_eq!(degree_for_eps(1024, 0.0), 2);
+        assert_eq!(degree_for_eps(1024, 1.0), 1024);
+        // eps = 0.5 on 1024 -> 32
+        assert_eq!(degree_for_eps(1024, 0.5), 32);
+        // eps = 1/log2(n) -> degree 2
+        let eps = 1.0 / (1024f64).log2();
+        assert_eq!(degree_for_eps(1024, eps), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Sorted-array + prefix-sum interval sums: the 1-D oracle.
+//!
+//! `O(m log m)` build (dominated by the sort; the parallel radix sort
+//! makes it `O(m)` per byte), `O(log m)` query. Used to validate
+//! [`crate::WeightTree1D`] and as the simplest ablation point.
+
+use crate::Point1;
+use pmc_parallel::meter::{CostKind, Meter};
+use pmc_parallel::scan::exclusive_scan;
+use pmc_parallel::sort::radix_sort_by_key;
+
+/// Immutable 1-D weighted point set supporting interval sums.
+#[derive(Debug, Clone)]
+pub struct PrefixSumIndex {
+    /// Point coordinates, ascending.
+    xs: Vec<u32>,
+    /// `prefix[i]` = total weight of the first `i` points.
+    prefix: Vec<u64>,
+}
+
+impl PrefixSumIndex {
+    pub fn build(mut points: Vec<Point1>, meter: &Meter) -> Self {
+        meter.add(CostKind::RangeNode, points.len() as u64);
+        radix_sort_by_key(&mut points, |p| p.x as u64);
+        let xs: Vec<u32> = points.iter().map(|p| p.x).collect();
+        let ws: Vec<u64> = points.iter().map(|p| p.w).collect();
+        let prefix = exclusive_scan(&ws);
+        PrefixSumIndex { xs, prefix }
+    }
+
+    /// Total weight of points with coordinate in `[x1, x2]` (inclusive).
+    pub fn sum(&self, x1: u32, x2: u32, meter: &Meter) -> u64 {
+        if x1 > x2 {
+            return 0;
+        }
+        meter.add(CostKind::RangeNode, (usize::BITS - self.xs.len().leading_zeros()) as u64);
+        let lo = self.xs.partition_point(|&x| x < x1);
+        let hi = self.xs.partition_point(|&x| x <= x2);
+        self.prefix[hi] - self.prefix[lo]
+    }
+
+    /// Total weight of all points.
+    pub fn total(&self) -> u64 {
+        *self.prefix.last().unwrap_or(&0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(u32, u64)]) -> Vec<Point1> {
+        v.iter().map(|&(x, w)| Point1 { x, w }).collect()
+    }
+
+    #[test]
+    fn basic_sums() {
+        let idx = PrefixSumIndex::build(pts(&[(5, 10), (1, 1), (3, 7), (5, 2)]), &Meter::disabled());
+        assert_eq!(idx.total(), 20);
+        assert_eq!(idx.sum(0, 10, &Meter::disabled()), 20);
+        assert_eq!(idx.sum(1, 1, &Meter::disabled()), 1);
+        assert_eq!(idx.sum(2, 4, &Meter::disabled()), 7);
+        assert_eq!(idx.sum(5, 5, &Meter::disabled()), 12); // duplicates sum
+        assert_eq!(idx.sum(6, 9, &Meter::disabled()), 0);
+        assert_eq!(idx.sum(4, 2, &Meter::disabled()), 0); // inverted
+    }
+
+    #[test]
+    fn empty() {
+        let idx = PrefixSumIndex::build(vec![], &Meter::disabled());
+        assert_eq!(idx.total(), 0);
+        assert_eq!(idx.sum(0, u32::MAX, &Meter::disabled()), 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn random_vs_bruteforce() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let points: Vec<Point1> = (0..500)
+            .map(|_| Point1 { x: rng.random_range(0..100), w: rng.random_range(1..10) })
+            .collect();
+        let idx = PrefixSumIndex::build(points.clone(), &Meter::disabled());
+        for _ in 0..200 {
+            let a = rng.random_range(0..110u32);
+            let b = rng.random_range(0..110u32);
+            let (x1, x2) = (a.min(b), a.max(b));
+            let expect: u64 =
+                points.iter().filter(|p| p.x >= x1 && p.x <= x2).map(|p| p.w).sum();
+            assert_eq!(idx.sum(x1, x2, &Meter::disabled()), expect);
+        }
+    }
+}

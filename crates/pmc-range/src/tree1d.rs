@@ -1,0 +1,230 @@
+//! Lemma 4.24: the complete `n^ε`-degree weight tree on the line.
+//!
+//! Leaves hold the points sorted by coordinate; each internal node
+//! stores the total weight `W(u)` of its subtree. A query converts the
+//! coordinate interval into a leaf index interval (binary search over
+//! the sorted leaves) and then sums a canonical cover: at most `2d`
+//! nodes per level over `O(1/ε)` levels, i.e. `O(n^ε/ε)` work per
+//! query, matching the lemma.
+
+use crate::{degree_for_eps, Point1};
+use pmc_parallel::meter::{CostKind, Meter};
+use pmc_parallel::sort::radix_sort_by_key;
+use rayon::prelude::*;
+
+/// Complete d-ary weight tree over sorted 1-D points.
+#[derive(Debug, Clone)]
+pub struct WeightTree1D {
+    degree: usize,
+    /// Sorted point coordinates (leaf keys).
+    xs: Vec<u32>,
+    /// `levels[0]` = leaf weights; `levels[k+1][i]` = sum of the up-to-`d`
+    /// children `levels[k][i*d .. (i+1)*d]`.
+    levels: Vec<Vec<u64>>,
+}
+
+impl WeightTree1D {
+    /// Build with degree `max(2, ceil(universe^eps))`.
+    pub fn build(points: Vec<Point1>, universe: usize, eps: f64, meter: &Meter) -> Self {
+        Self::with_degree(points, degree_for_eps(universe, eps), meter)
+    }
+
+    /// Build with an explicit branching factor (`degree >= 2`).
+    pub fn with_degree(mut points: Vec<Point1>, degree: usize, meter: &Meter) -> Self {
+        assert!(degree >= 2);
+        radix_sort_by_key(&mut points, |p| p.x as u64);
+        let xs: Vec<u32> = points.iter().map(|p| p.x).collect();
+        let base: Vec<u64> = points.iter().map(|p| p.w).collect();
+        meter.add(CostKind::RangeNode, base.len() as u64);
+        let mut levels = vec![base];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let next: Vec<u64> =
+                prev.par_chunks(degree).map(|c| c.iter().sum::<u64>()).collect();
+            meter.add(CostKind::RangeNode, next.len() as u64);
+            levels.push(next);
+        }
+        WeightTree1D { degree, xs, levels }
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of levels (`O(log n / log degree) = O(1/ε)`).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.levels.last().map_or(0, |l| l.first().copied().unwrap_or(0))
+    }
+
+    /// Sum of weights of points with coordinate in `[x1, x2]`.
+    pub fn sum(&self, x1: u32, x2: u32, meter: &Meter) -> u64 {
+        if x1 > x2 || self.xs.is_empty() {
+            return 0;
+        }
+        let lo = self.xs.partition_point(|&x| x < x1);
+        let hi = self.xs.partition_point(|&x| x <= x2);
+        self.sum_leaf_range(lo, hi, meter)
+    }
+
+    /// Sum over the leaf index interval `[lo, hi)`.
+    pub fn sum_leaf_range(&self, lo: usize, hi: usize, meter: &Meter) -> u64 {
+        if lo >= hi {
+            return 0;
+        }
+        // prefix(hi) - prefix(lo), each in O(degree) per level.
+        self.prefix(hi, meter) - self.prefix(lo, meter)
+    }
+
+    /// Sum of the first `k` leaves: descend from the root, adding the
+    /// complete children to the left of the partial child at each level.
+    fn prefix(&self, k: usize, meter: &Meter) -> u64 {
+        if k == 0 {
+            return 0;
+        }
+        if k >= self.xs.len() {
+            return self.total();
+        }
+        let mut sum = 0u64;
+        let mut node = 0usize; // index at the current level
+        for level in (1..self.levels.len()).rev() {
+            // Children of `node` live at level-1, indices node*d ..
+            let child_base = node * self.degree;
+            // Width (leaf count) of one child at this level.
+            let child_width = self.degree.pow((level - 1) as u32);
+            let full = (k - node_leaf_start(node, level, self.degree)) / child_width;
+            let lo = child_base;
+            let hi = (child_base + full).min(self.levels[level - 1].len());
+            meter.add(CostKind::RangeNode, (hi - lo) as u64 + 1);
+            for i in lo..hi {
+                sum += self.levels[level - 1][i];
+            }
+            node = child_base + full;
+        }
+        sum
+    }
+}
+
+/// First leaf index covered by `node` at `level` in a complete d-ary
+/// layout.
+fn node_leaf_start(node: usize, level: usize, degree: usize) -> usize {
+    node * degree.pow(level as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrefixSumIndex;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn pts(v: &[(u32, u64)]) -> Vec<Point1> {
+        v.iter().map(|&(x, w)| Point1 { x, w }).collect()
+    }
+
+    #[test]
+    fn small_fixed() {
+        let t = WeightTree1D::with_degree(
+            pts(&[(1, 1), (3, 7), (5, 10), (5, 2), (9, 4)]),
+            2,
+            &Meter::disabled(),
+        );
+        let m = Meter::disabled();
+        assert_eq!(t.total(), 24);
+        assert_eq!(t.sum(0, 9, &m), 24);
+        assert_eq!(t.sum(3, 5, &m), 19);
+        assert_eq!(t.sum(5, 5, &m), 12);
+        assert_eq!(t.sum(6, 8, &m), 0);
+        assert_eq!(t.sum(9, 3, &m), 0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let m = Meter::disabled();
+        let t = WeightTree1D::with_degree(vec![], 4, &m);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.sum(0, 100, &m), 0);
+        let t1 = WeightTree1D::with_degree(pts(&[(7, 9)]), 4, &m);
+        assert_eq!(t1.sum(7, 7, &m), 9);
+        assert_eq!(t1.sum(0, 6, &m), 0);
+        assert_eq!(t1.sum(8, 20, &m), 0);
+    }
+
+    #[test]
+    fn matches_oracle_across_degrees() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let points: Vec<Point1> = (0..1000)
+            .map(|_| Point1 { x: rng.random_range(0..256), w: rng.random_range(1..8) })
+            .collect();
+        let m = Meter::disabled();
+        let oracle = PrefixSumIndex::build(points.clone(), &m);
+        for degree in [2usize, 3, 4, 16, 64, 1000] {
+            let t = WeightTree1D::with_degree(points.clone(), degree, &m);
+            for _ in 0..300 {
+                let a = rng.random_range(0..260u32);
+                let b = rng.random_range(0..260u32);
+                let (x1, x2) = (a.min(b), a.max(b));
+                assert_eq!(
+                    t.sum(x1, x2, &m),
+                    oracle.sum(x1, x2, &m),
+                    "degree={degree} [{x1},{x2}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eps_controls_height() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let points: Vec<Point1> = (0..4096)
+            .map(|_| Point1 { x: rng.random_range(0..4096), w: 1 })
+            .collect();
+        let m = Meter::disabled();
+        let flat = WeightTree1D::build(points.clone(), 4096, 1.0, &m);
+        let tall = WeightTree1D::build(points.clone(), 4096, 1.0 / 12.0, &m);
+        assert!(flat.height() <= 2, "eps=1 is a root over leaves");
+        assert!(tall.height() >= 10, "eps=1/log n is a binary tree");
+        // Both answer identically.
+        for _ in 0..100 {
+            let a = rng.random_range(0..4200u32);
+            let b = rng.random_range(0..4200u32);
+            let (x1, x2) = (a.min(b), a.max(b));
+            assert_eq!(flat.sum(x1, x2, &m), tall.sum(x1, x2, &m));
+        }
+    }
+
+    #[test]
+    fn query_work_scales_with_degree() {
+        // Lemma 4.24: query work is O(degree * height).
+        let points: Vec<Point1> = (0..10_000u32).map(|i| Point1 { x: i, w: 1 }).collect();
+        let t = WeightTree1D::with_degree(points, 10, &Meter::disabled());
+        let meter = Meter::enabled();
+        let _ = t.sum(123, 9876, &meter);
+        let visited = meter.get(CostKind::RangeNode);
+        let bound = (2 * t.degree() * t.height() + 2) as u64;
+        assert!(visited <= bound, "visited {visited} > bound {bound}");
+    }
+
+    #[test]
+    fn prefix_boundaries() {
+        let points: Vec<Point1> = (0..100u32).map(|i| Point1 { x: i, w: (i + 1) as u64 }).collect();
+        let t = WeightTree1D::with_degree(points, 3, &Meter::disabled());
+        let m = Meter::disabled();
+        // Sum 0..=k for every k matches closed form.
+        for k in 0..100u32 {
+            let expect: u64 = ((k as u64 + 1) * (k as u64 + 2)) / 2;
+            assert_eq!(t.sum(0, k, &m), expect, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Lemma 4.25: the two-level `n^ε`-degree range tree on the grid.
+//!
+//! First level: a complete d-ary tree over the points sorted by `x`.
+//! Second level: for every node of every level, the points below it
+//! sorted by `y` with prefix-summed weights (the paper's auxiliary
+//! arrays `A_aux(u)`; interval sums over them play the role of the
+//! auxiliary trees `T_aux(u)` — binary search never exceeds the lemma's
+//! `O(n^ε/ε)` aux-query cost for admissible `ε`, see DESIGN.md).
+//!
+//! A rectangle query `[x1,x2] x [y1,y2]` finds the canonical cover of
+//! the x-interval — `O(d)` nodes per level, `O(1/ε)` levels — and sums
+//! one y-interval per covered node: `O(n^ε/ε)` node visits, each with a
+//! logarithmic-cost aux lookup, matching the query profile the
+//! ε-crossover experiment (E-4.26) sweeps.
+
+use crate::{degree_for_eps, Point2};
+use pmc_parallel::meter::{CostKind, Meter};
+use pmc_parallel::sort::radix_sort_by_key;
+use rayon::prelude::*;
+
+/// One level of the x-tree: nodes partition the x-sorted points into
+/// consecutive chunks of `degree^level` leaves; per node we store the
+/// y-sorted keys and prefix weights of its points.
+#[derive(Debug, Clone)]
+struct Level {
+    /// Leaf width of one node at this level.
+    width: usize,
+    /// `ys[node_start(node) .. ]`: y-keys sorted within each node chunk.
+    ys: Vec<u32>,
+    /// Prefix weights *within each node chunk*: `prefix[i]` = sum of
+    /// weights of this chunk's points before in-chunk index `i`; the
+    /// chunk's total sits at its last slot + weight (handled in query).
+    prefix: Vec<u64>,
+    /// Total weight per node (needed because prefix is chunk-local).
+    node_total: Vec<u64>,
+}
+
+/// Static 2-D range-sum structure over weighted grid points.
+#[derive(Debug, Clone)]
+pub struct RangeTree2D {
+    degree: usize,
+    /// Points sorted by x (leaf order); `xs[i]` is the x of leaf `i`.
+    xs: Vec<u32>,
+    levels: Vec<Level>,
+}
+
+impl RangeTree2D {
+    /// Build with degree `max(2, ceil(universe^eps))`.
+    pub fn build(points: Vec<Point2>, universe: usize, eps: f64, meter: &Meter) -> Self {
+        Self::with_degree(points, degree_for_eps(universe, eps), meter)
+    }
+
+    /// Build with an explicit branching factor (`degree >= 2`).
+    pub fn with_degree(mut points: Vec<Point2>, degree: usize, meter: &Meter) -> Self {
+        assert!(degree >= 2);
+        let m = points.len();
+        meter.add(CostKind::RangeNode, m as u64);
+        // Leaf order: sort by x (ties by y, harmless).
+        radix_sort_by_key(&mut points, |p| ((p.x as u64) << 32) | p.y as u64);
+        let xs: Vec<u32> = points.iter().map(|p| p.x).collect();
+
+        // Points tagged with their leaf index so node membership survives
+        // the per-level y-resorts (duplicate x values make the x key
+        // ambiguous on its own).
+        let mut indexed: Vec<(u32, Point2)> =
+            points.into_iter().enumerate().map(|(i, p)| (i as u32, p)).collect();
+        let mut width = 1usize;
+        let mut levels = Vec::new();
+        loop {
+            let num_nodes = m.div_ceil(width).max(1);
+            // Sort by (node index, y); one radix pass per level, the
+            // parallel analogue of the paper's per-level merges.
+            let wl = width as u64;
+            radix_sort_by_key(&mut indexed, |&(i, p)| ((i as u64 / wl) << 32) | p.y as u64);
+            let ys: Vec<u32> = indexed.iter().map(|&(_, p)| p.y).collect();
+            // Chunk-local prefix sums and per-node totals, in parallel
+            // over nodes (chunks are disjoint).
+            let prefix_chunks: Vec<(Vec<u64>, u64)> = (0..num_nodes)
+                .into_par_iter()
+                .map(|nd| {
+                    let lo = nd * width;
+                    let hi = ((nd + 1) * width).min(m);
+                    let mut pre = Vec::with_capacity(hi - lo);
+                    let mut acc = 0u64;
+                    for item in &indexed[lo..hi] {
+                        pre.push(acc);
+                        acc += item.1.w;
+                    }
+                    (pre, acc)
+                })
+                .collect();
+            let mut prefix = Vec::with_capacity(m);
+            let mut node_total = Vec::with_capacity(num_nodes);
+            for (pre, total) in prefix_chunks {
+                prefix.extend(pre);
+                node_total.push(total);
+            }
+            meter.add(CostKind::RangeNode, m as u64);
+            levels.push(Level { width, ys, prefix, node_total });
+            if num_nodes == 1 {
+                break;
+            }
+            width *= degree;
+        }
+        RangeTree2D { degree, xs, levels }
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.levels.last().map_or(0, |l| l.node_total.first().copied().unwrap_or(0))
+    }
+
+    /// Total weight of points in `[x1, x2] x [y1, y2]` (inclusive).
+    pub fn sum_rect(&self, x1: u32, x2: u32, y1: u32, y2: u32, meter: &Meter) -> u64 {
+        if x1 > x2 || y1 > y2 || self.xs.is_empty() {
+            return 0;
+        }
+        let lo = self.xs.partition_point(|&x| x < x1);
+        let hi = self.xs.partition_point(|&x| x <= x2);
+        self.sum_leaf_range(lo, hi, y1, y2, meter)
+    }
+
+    /// Sum over leaves `[lo, hi)` with y in `[y1, y2]`: canonical cover
+    /// of the leaf interval, one aux interval-sum per covered node.
+    ///
+    /// Bottom-up peeling: entering level `l`, both ends are aligned to
+    /// that level's node width; peel nodes off each end until both ends
+    /// align to the next level's width. At most `degree - 1` nodes per
+    /// end per level, i.e. the lemma's `O(n^ε)` nodes per level.
+    fn sum_leaf_range(&self, mut lo: usize, mut hi: usize, y1: u32, y2: u32, meter: &Meter) -> u64 {
+        if lo >= hi {
+            return 0;
+        }
+        let mut sum = 0u64;
+        for lvl in 0..self.levels.len() {
+            if lo >= hi {
+                break;
+            }
+            let width = self.levels[lvl].width;
+            let next = width * self.degree;
+            debug_assert!(lo.is_multiple_of(width) && hi.is_multiple_of(width));
+            while !lo.is_multiple_of(next) && lo < hi {
+                sum += self.aux_sum(lvl, lo / width, y1, y2, meter);
+                lo += width;
+            }
+            while !hi.is_multiple_of(next) && lo < hi {
+                sum += self.aux_sum(lvl, hi / width - 1, y1, y2, meter);
+                hi -= width;
+            }
+        }
+        debug_assert!(lo >= hi, "cover incomplete: [{lo},{hi})");
+        sum
+    }
+
+    /// Interval sum `y in [y1, y2]` inside one node's y-sorted chunk.
+    fn aux_sum(&self, lvl: usize, node: usize, y1: u32, y2: u32, meter: &Meter) -> u64 {
+        let level = &self.levels[lvl];
+        let m = self.xs.len();
+        let lo = node * level.width;
+        let hi = ((node + 1) * level.width).min(m);
+        let ys = &level.ys[lo..hi];
+        meter.add(CostKind::RangeNode, (usize::BITS - ys.len().leading_zeros()) as u64 + 1);
+        let a = ys.partition_point(|&y| y < y1);
+        let b = ys.partition_point(|&y| y <= y2);
+        if a >= b {
+            return 0;
+        }
+        let upper = if lo + b == hi {
+            level.node_total[node]
+        } else {
+            level.prefix[lo + b]
+        };
+        upper - level.prefix[lo + a]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn brute(points: &[Point2], x1: u32, x2: u32, y1: u32, y2: u32) -> u64 {
+        points
+            .iter()
+            .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2)
+            .map(|p| p.w)
+            .sum()
+    }
+
+    #[test]
+    fn small_fixed() {
+        let pts = vec![
+            Point2 { x: 0, y: 0, w: 1 },
+            Point2 { x: 1, y: 2, w: 2 },
+            Point2 { x: 2, y: 1, w: 4 },
+            Point2 { x: 2, y: 1, w: 8 },
+            Point2 { x: 3, y: 3, w: 16 },
+        ];
+        let m = Meter::disabled();
+        let t = RangeTree2D::with_degree(pts.clone(), 2, &m);
+        assert_eq!(t.total(), 31);
+        assert_eq!(t.sum_rect(0, 3, 0, 3, &m), 31);
+        assert_eq!(t.sum_rect(2, 2, 1, 1, &m), 12);
+        assert_eq!(t.sum_rect(1, 2, 0, 2, &m), 14);
+        assert_eq!(t.sum_rect(4, 9, 0, 9, &m), 0);
+        assert_eq!(t.sum_rect(3, 1, 0, 9, &m), 0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let m = Meter::disabled();
+        let t = RangeTree2D::with_degree(vec![], 3, &m);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.sum_rect(0, 100, 0, 100, &m), 0);
+        let t1 = RangeTree2D::with_degree(vec![Point2 { x: 5, y: 7, w: 3 }], 3, &m);
+        assert_eq!(t1.sum_rect(5, 5, 7, 7, &m), 3);
+        assert_eq!(t1.sum_rect(5, 5, 8, 9, &m), 0);
+    }
+
+    #[test]
+    fn random_vs_bruteforce_across_degrees() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let points: Vec<Point2> = (0..800)
+            .map(|_| Point2 {
+                x: rng.random_range(0..64),
+                y: rng.random_range(0..64),
+                w: rng.random_range(1..16),
+            })
+            .collect();
+        let m = Meter::disabled();
+        for degree in [2usize, 3, 5, 8, 64, 1024] {
+            let t = RangeTree2D::with_degree(points.clone(), degree, &m);
+            assert_eq!(t.total(), points.iter().map(|p| p.w).sum::<u64>());
+            for _ in 0..400 {
+                let a = rng.random_range(0..70u32);
+                let b = rng.random_range(0..70u32);
+                let c = rng.random_range(0..70u32);
+                let d = rng.random_range(0..70u32);
+                let (x1, x2) = (a.min(b), a.max(b));
+                let (y1, y2) = (c.min(d), c.max(d));
+                assert_eq!(
+                    t.sum_rect(x1, x2, y1, y2, &m),
+                    brute(&points, x1, x2, y1, y2),
+                    "degree={degree} rect=[{x1},{x2}]x[{y1},{y2}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eps_parameterization() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let points: Vec<Point2> = (0..2048)
+            .map(|_| Point2 {
+                x: rng.random_range(0..2048),
+                y: rng.random_range(0..2048),
+                w: 1,
+            })
+            .collect();
+        let m = Meter::disabled();
+        let flat = RangeTree2D::build(points.clone(), 2048, 0.9, &m);
+        let tall = RangeTree2D::build(points.clone(), 2048, 1.0 / 11.0, &m);
+        assert!(flat.height() < tall.height());
+        for _ in 0..100 {
+            let a = rng.random_range(0..2100u32);
+            let b = rng.random_range(0..2100u32);
+            let c = rng.random_range(0..2100u32);
+            let d = rng.random_range(0..2100u32);
+            let (x1, x2) = (a.min(b), a.max(b));
+            let (y1, y2) = (c.min(d), c.max(d));
+            assert_eq!(flat.sum_rect(x1, x2, y1, y2, &m), tall.sum_rect(x1, x2, y1, y2, &m));
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_sum() {
+        let pts: Vec<Point2> = (0..100).map(|i| Point2 { x: 7, y: 9, w: i % 3 + 1 }).collect();
+        let total: u64 = pts.iter().map(|p| p.w).sum();
+        let m = Meter::disabled();
+        let t = RangeTree2D::with_degree(pts, 4, &m);
+        assert_eq!(t.sum_rect(7, 7, 9, 9, &m), total);
+        assert_eq!(t.sum_rect(0, 6, 0, 100, &m), 0);
+    }
+
+    #[test]
+    fn stripe_queries() {
+        // Full x-range, partial y-range (the cut-query shape).
+        let mut rng = StdRng::seed_from_u64(43);
+        let points: Vec<Point2> = (0..500)
+            .map(|i| Point2 { x: i as u32, y: rng.random_range(0..32), w: 1 })
+            .collect();
+        let m = Meter::disabled();
+        let t = RangeTree2D::with_degree(points.clone(), 4, &m);
+        for y in 0..32u32 {
+            assert_eq!(t.sum_rect(0, 499, y, y, &m), brute(&points, 0, 499, y, y));
+        }
+    }
+}

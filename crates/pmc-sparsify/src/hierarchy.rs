@@ -1,0 +1,391 @@
+//! The sampling hierarchies of §3 (Algorithms 3.14 and 3.17).
+//!
+//! * **Sampled hierarchy** (Def. 3.3): `G_0 = G` as a multigraph;
+//!   `G_{i+1}` keeps each copy of `G_i` with probability 1/2.
+//! * **Critical layer** (Def. 3.8): `t_e` is the last layer where edge
+//!   `e` still has `~crit` expected copies; sampling *starts* there
+//!   (`X_{t_e} ~ B(w(e), 2^{-t_e})`) and proceeds by halving, which is
+//!   distributionally identical to per-copy coin flips but costs
+//!   `O(log n)` per edge.
+//! * **Truncated hierarchy** (Def. 3.9): layers below `t_e` reuse the
+//!   critical layer's copies — so the *exclusive* hierarchy (Def. 3.16,
+//!   `Ĝ_i = G^trunc_i \ G^trunc_{i+1}`) is simply `X_i - X_{i+1}`
+//!   copies at each layer `i >= t_e` and nothing below.
+//! * **Certificate hierarchy** (Alg. 3.17): per layer, up to
+//!   `forest_factor · log n` spanning forests with a global per-edge
+//!   participation budget of `budget_factor · log n`; `∪_{j>=i} H_j` is
+//!   a `forest_factor · log n`-cut certificate of `G^trunc_i`
+//!   (Claim 3.18).
+
+use crate::binomial::binomial;
+use pmc_graph::{Graph, GraphBuilder};
+use pmc_parallel::meter::{CostKind, Meter};
+use pmc_parallel::spanning_forest::spanning_forest_of_pairs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Constants of §3, expressed as multiples of `log2 n` so that small
+/// test graphs exercise the same code paths as paper-scale inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyParams {
+    /// Copies targeted at the critical layer (paper: 500).
+    pub crit_factor: f64,
+    /// Per-edge spanning-forest participation budget (paper: 400).
+    pub budget_factor: f64,
+    /// Spanning forests per layer (paper: 200).
+    pub forest_factor: f64,
+    /// RNG seed for the whole hierarchy.
+    pub seed: u64,
+}
+
+impl HierarchyParams {
+    /// The constants as printed in the paper. Only meaningful for
+    /// min-cuts well above `500 log n`.
+    pub fn paper(seed: u64) -> Self {
+        HierarchyParams { crit_factor: 500.0, budget_factor: 400.0, forest_factor: 200.0, seed }
+    }
+
+    /// Smaller constants with the same ratios, keeping the w.h.p.
+    /// machinery exercisable at laptop scale (the BLS'20 approach).
+    pub fn practical(seed: u64) -> Self {
+        HierarchyParams { crit_factor: 25.0, budget_factor: 20.0, forest_factor: 10.0, seed }
+    }
+
+    /// `crit_factor * log2 n`, at least 4.
+    pub fn crit_copies(&self, n: usize) -> u64 {
+        ((self.crit_factor * (n.max(2) as f64).log2()).ceil() as u64).max(4)
+    }
+
+    /// `budget_factor * log2 n`, at least 4.
+    pub fn budget(&self, n: usize) -> u64 {
+        ((self.budget_factor * (n.max(2) as f64).log2()).ceil() as u64).max(4)
+    }
+
+    /// `forest_factor * log2 n`, at least 2.
+    pub fn forests_per_layer(&self, n: usize) -> u64 {
+        ((self.forest_factor * (n.max(2) as f64).log2()).ceil() as u64).max(2)
+    }
+}
+
+/// The exclusive hierarchy `{Ĝ_i}` of Definition 3.16.
+#[derive(Debug, Clone)]
+pub struct ExclusiveHierarchy {
+    /// `levels[i]` lists `(edge index, copies)` of `Ĝ_i`.
+    pub levels: Vec<Vec<(u32, u64)>>,
+    /// Critical layer `t_e` per edge.
+    pub critical: Vec<u32>,
+}
+
+impl ExclusiveHierarchy {
+    /// Algorithm 3.14. Deterministic in `params.seed`.
+    pub fn build(g: &Graph, params: &HierarchyParams, meter: &Meter) -> Self {
+        let crit = params.crit_copies(g.n());
+        meter.add(CostKind::Sample, g.m() as u64);
+        // Per-edge sampling chains, parallel and individually seeded.
+        let chains: Vec<(u32, Vec<(u32, u64)>)> = g
+            .edges()
+            .par_iter()
+            .enumerate()
+            .map(|(idx, e)| {
+                let mut rng = StdRng::seed_from_u64(
+                    params.seed ^ (idx as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+                );
+                let t_e = critical_layer(e.w, crit);
+                // X_{t_e} ~ B(w, 2^{-t_e}); halve upward until extinct.
+                let mut copies = if t_e == 0 {
+                    e.w
+                } else {
+                    binomial(e.w, 0.5f64.powi(t_e as i32), &mut rng)
+                };
+                let mut out = Vec::new();
+                let mut level = t_e;
+                while copies > 0 {
+                    let next = binomial(copies, 0.5, &mut rng);
+                    let exclusive = copies - next;
+                    if exclusive > 0 {
+                        out.push((level, exclusive));
+                    }
+                    copies = next;
+                    level += 1;
+                }
+                (t_e, out)
+            })
+            .collect();
+        let num_levels =
+            chains.iter().flat_map(|(_, c)| c.iter().map(|&(l, _)| l as usize + 1)).max().unwrap_or(1);
+        let mut levels: Vec<Vec<(u32, u64)>> = vec![Vec::new(); num_levels];
+        let mut critical = Vec::with_capacity(g.m());
+        for (idx, (t_e, chain)) in chains.into_iter().enumerate() {
+            critical.push(t_e);
+            for (level, copies) in chain {
+                levels[level as usize].push((idx as u32, copies));
+            }
+        }
+        ExclusiveHierarchy { levels, critical }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Copies of edge `e` in the truncated layer `G^trunc_i`: the sum of
+    /// exclusive copies at layers `>= max(i, t_e)`.
+    pub fn truncated_copies(&self, edge: u32, level: usize) -> u64 {
+        let from = (self.critical[edge as usize] as usize).max(level);
+        self.levels[from..]
+            .iter()
+            .flat_map(|l| l.iter())
+            .filter(|&&(e, _)| e == edge)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Materialize `G^trunc_i` as a weighted graph (copies = weights).
+    pub fn truncated_graph(&self, g: &Graph, level: usize) -> Graph {
+        let mut weight = vec![0u64; g.m()];
+        for l in self.levels[level.min(self.levels.len())..].iter() {
+            for &(e, c) in l {
+                weight[e as usize] += c;
+            }
+        }
+        // Layers below an edge's critical layer reuse the critical
+        // copies, which the sum above already includes (it sums all
+        // layers >= level >= nothing-below-t_e exists).
+        let mut b = GraphBuilder::new(g.n());
+        for (i, &w) in weight.iter().enumerate() {
+            if w > 0 {
+                let e = g.edge(i);
+                b.add_edge(e.u, e.v, w);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Largest `t` with `w / 2^t >= crit` (0 when `w < crit`), i.e.
+/// `floor(log2(w / crit))`.
+fn critical_layer(w: u64, crit: u64) -> u32 {
+    if w < crit.max(1) {
+        return 0;
+    }
+    63 - (w / crit.max(1)).leading_zeros()
+}
+
+/// The certificate hierarchy `{H_i}` of Algorithm 3.17.
+#[derive(Debug, Clone)]
+pub struct CertificateHierarchy {
+    /// `levels[i]` lists `(edge index, multiplicity)` of `H_i`.
+    pub levels: Vec<Vec<(u32, u64)>>,
+}
+
+impl CertificateHierarchy {
+    pub fn build(
+        g: &Graph,
+        hierarchy: &ExclusiveHierarchy,
+        params: &HierarchyParams,
+        meter: &Meter,
+    ) -> Self {
+        let n = g.n();
+        let mut budget = vec![params.budget(n); g.m()];
+        let max_forests = params.forests_per_layer(n);
+        let mut levels: Vec<Vec<(u32, u64)>> = vec![Vec::new(); hierarchy.num_levels()];
+        for i in (0..hierarchy.num_levels()).rev() {
+            // Alive edges of Ĝ_i with copies and positive budget.
+            let mut alive: Vec<(u32, u64)> = hierarchy.levels[i]
+                .iter()
+                .filter(|&&(e, _)| budget[e as usize] > 0)
+                .copied()
+                .collect();
+            let mut mult: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+            let mut rounds = 0u64;
+            while rounds < max_forests && !alive.is_empty() {
+                let edges = g.edges();
+                let forest = spanning_forest_of_pairs(
+                    n,
+                    alive.len(),
+                    |j| {
+                        let e = edges[alive[j].0 as usize];
+                        (e.u, e.v)
+                    },
+                    meter,
+                );
+                // Every alive edge pays one budget unit (Alg 3.17 line 8).
+                for &(e, _) in &alive {
+                    budget[e as usize] -= 1;
+                }
+                for &fj in &forest {
+                    let slot = &mut alive[fj as usize];
+                    slot.1 -= 1;
+                    *mult.entry(slot.0).or_insert(0) += 1;
+                }
+                alive.retain(|&(e, c)| c > 0 && budget[e as usize] > 0);
+                rounds += 1;
+            }
+            let mut level: Vec<(u32, u64)> = mult.into_iter().collect();
+            level.sort_unstable();
+            levels[i] = level;
+        }
+        CertificateHierarchy { levels }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `∪_{j >= i} H_j` as a weighted graph (Claim 3.18's certificate
+    /// for `G^trunc_i`).
+    pub fn union_graph(&self, g: &Graph, level: usize) -> Graph {
+        let mut weight = vec![0u64; g.m()];
+        for l in self.levels[level.min(self.levels.len())..].iter() {
+            for &(e, c) in l {
+                weight[e as usize] += c;
+            }
+        }
+        let mut b = GraphBuilder::new(g.n());
+        for (i, &w) in weight.iter().enumerate() {
+            if w > 0 {
+                let e = g.edge(i);
+                b.add_edge(e.u, e.v, w);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::{generators, stoer_wagner_mincut};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn critical_layer_values() {
+        assert_eq!(critical_layer(10, 100), 0);
+        assert_eq!(critical_layer(100, 100), 0);
+        assert_eq!(critical_layer(200, 100), 1);
+        assert_eq!(critical_layer(399, 100), 1);
+        assert_eq!(critical_layer(400, 100), 2);
+        assert_eq!(critical_layer(1 << 30, 1), 30);
+    }
+
+    #[test]
+    fn light_edges_fully_present_at_level_zero() {
+        // Weights below the critical threshold: t_e = 0 and the exclusive
+        // hierarchy partitions exactly w copies.
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::gnm_connected(20, 40, 8, &mut rng);
+        let params = HierarchyParams::practical(5);
+        assert!(g.edges().iter().all(|e| e.w < params.crit_copies(g.n())));
+        let h = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        let trunc0 = h.truncated_graph(&g, 0);
+        assert_eq!(trunc0.total_weight(), g.total_weight());
+        assert_eq!(trunc0.m(), g.m());
+        // Per-edge conservation.
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(h.truncated_copies(i as u32, 0), e.w, "edge {i}");
+        }
+    }
+
+    #[test]
+    fn heavy_edge_concentrates_at_critical_layer() {
+        // Claim 3.10: copies at the critical layer within [0.8, 1.2] of
+        // the target (the paper's [400,600]/500 band) w.h.p.
+        let g = Graph::from_edges(2, [(0, 1, 1 << 22)]);
+        // Large crit target so the relative fluctuation (~1/sqrt(crit))
+        // stays within the band, as in the paper's 500 log n regime.
+        let params = HierarchyParams {
+            crit_factor: 400.0,
+            ..HierarchyParams::practical(77)
+        };
+        let crit = params.crit_copies(2);
+        let h = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        let t_e = h.critical[0] as usize;
+        let at_crit = h.truncated_copies(0, t_e);
+        let target = (1u64 << 22) as f64 / 2f64.powi(t_e as i32);
+        assert!(target >= crit as f64 && target < 2.0 * crit as f64);
+        assert!(
+            (at_crit as f64 / target - 1.0).abs() < 0.3,
+            "copies {at_crit} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn truncated_layers_nest() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::heavy_cycle_with_chords(12, 20, 5000, 100, &mut rng);
+        let params = HierarchyParams::practical(9);
+        let h = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        for i in 1..h.num_levels() {
+            let hi = h.truncated_graph(&g, i);
+            let lo = h.truncated_graph(&g, i - 1);
+            assert!(hi.total_weight() <= lo.total_weight(), "level {i}");
+        }
+    }
+
+    #[test]
+    fn exclusive_levels_halve_in_expectation() {
+        let g = Graph::from_edges(2, [(0, 1, 1 << 20)]);
+        let params = HierarchyParams::practical(31);
+        let h = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        let t = h.critical[0] as usize;
+        // Total copies from the critical layer upward ~ w / 2^t.
+        let total = h.truncated_copies(0, t);
+        let expect = (1u64 << 20) as f64 / 2f64.powi(t as i32);
+        assert!((total as f64 / expect - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn certificate_hierarchy_preserves_small_mincut() {
+        // For a light graph everything lives at level 0 and the union
+        // certificate must preserve the (small) min-cut exactly.
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = generators::gnm_connected(24, 80, 3, &mut rng);
+        let params = HierarchyParams::practical(13);
+        let h = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        let certs = CertificateHierarchy::build(&g, &h, &params, &Meter::disabled());
+        let union0 = certs.union_graph(&g, 0);
+        let lambda = stoer_wagner_mincut(&g).value;
+        assert!(lambda < params.forests_per_layer(g.n()));
+        assert_eq!(stoer_wagner_mincut(&union0).value, lambda);
+    }
+
+    #[test]
+    fn certificate_respects_budget_size() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = generators::gnm_connected(30, 200, 2000, &mut rng);
+        let params = HierarchyParams::practical(17);
+        let h = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        let certs = CertificateHierarchy::build(&g, &h, &params, &Meter::disabled());
+        // H_i has at most forests_per_layer * (n-1) edges (multiplicity
+        // counts), and each edge's total multiplicity across all layers
+        // is bounded by its budget.
+        let mut per_edge = vec![0u64; g.m()];
+        for (i, level) in certs.levels.iter().enumerate() {
+            let level_total: u64 = level.iter().map(|&(_, c)| c).sum();
+            assert!(
+                level_total <= params.forests_per_layer(g.n()) * (g.n() as u64 - 1),
+                "layer {i} too heavy"
+            );
+            for &(e, c) in level {
+                per_edge[e as usize] += c;
+            }
+        }
+        for (i, &c) in per_edge.iter().enumerate() {
+            assert!(c <= params.budget(g.n()), "edge {i} exceeded budget");
+        }
+    }
+
+    #[test]
+    fn hierarchy_deterministic_in_seed() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let g = generators::heavy_cycle_with_chords(10, 10, 3000, 50, &mut rng);
+        let params = HierarchyParams::practical(42);
+        let a = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        let b = ExclusiveHierarchy::build(&g, &params, &Meter::disabled());
+        assert_eq!(a.levels, b.levels);
+    }
+
+    use pmc_graph::Graph;
+}

@@ -1,0 +1,160 @@
+//! Nagamochi–Ibaraki scan-based certificates ([NI92a]/[NI92b]).
+//!
+//! The *other* certificate algorithm the paper cites: a single
+//! maximum-adjacency scan assigns every edge a forest index, and the
+//! k-certificate keeps the weight that falls into forests `1..=k`.
+//! Sequential `O(m log n)`; produces the same guarantees as the
+//! forest-peeling construction of [`crate::certificate`] (Definition
+//! 2.5) and serves as its cross-check oracle and as the sequential
+//! baseline in ablations.
+//!
+//! Weighted formulation (the BLS'20 one): scanning vertex `u`, an edge
+//! `(u, v, w)` occupies the forest interval `(r(v), r(v) + w]`; its
+//! certificate weight is the part of that interval at or below `k`,
+//! i.e. `min(w, k - r(v))` clamped at zero; then `r(v) += w`.
+
+use pmc_graph::{Graph, GraphBuilder};
+use pmc_parallel::meter::{CostKind, Meter};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sparse k-connectivity certificate via one maximum-adjacency scan.
+pub fn scan_certificate(g: &Graph, k: u64, meter: &Meter) -> Graph {
+    let n = g.n();
+    meter.add(CostKind::ForestEdge, g.m() as u64);
+    let mut r = vec![0u64; n]; // accumulated adjacency weight
+    let mut scanned = vec![false; n];
+    // Max-heap over (r(v), v) with lazy entries.
+    let mut heap: BinaryHeap<(u64, Reverse<u32>)> = BinaryHeap::with_capacity(n);
+    for v in 0..n as u32 {
+        heap.push((0, Reverse(v)));
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut processed = 0usize;
+    while processed < n {
+        let Some((key, Reverse(u))) = heap.pop() else { break };
+        if scanned[u as usize] || key != r[u as usize] {
+            continue; // stale entry
+        }
+        scanned[u as usize] = true;
+        processed += 1;
+        for &(v, ei) in g.neighbors(u) {
+            if scanned[v as usize] {
+                continue;
+            }
+            let w = g.edge(ei as usize).w;
+            let below = k.saturating_sub(r[v as usize]).min(w);
+            if below > 0 {
+                b.add_edge(u, v, below);
+            }
+            r[v as usize] += w;
+            heap.push((r[v as usize], Reverse(v)));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::k_certificate;
+    use pmc_graph::graph::cut_of_partition;
+    use pmc_graph::{generators, stoer_wagner_mincut};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_cut_preservation(g: &Graph, k: u64) {
+        let h = scan_certificate(g, k, &Meter::disabled());
+        assert!(h.total_weight() <= k * g.n() as u64, "size bound violated");
+        let n = g.n();
+        assert!(n <= 16);
+        for mask in 1..(1u32 << (n - 1)) {
+            let side: Vec<bool> =
+                (0..n).map(|v| v > 0 && (mask >> (v - 1)) & 1 == 1).collect();
+            let cg = cut_of_partition(g, &side);
+            let ch = cut_of_partition(&h, &side);
+            assert!(ch <= cg, "certificate increased a cut");
+            if cg <= k {
+                assert_eq!(ch, cg, "cut {cg} <= k={k} not preserved");
+            } else {
+                assert!(ch >= k, "cut above k fell below k: {ch} < {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_small_cuts_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let g = generators::gnm_connected(8, 10 + trial, 4, &mut rng);
+            for k in [1, 2, 3, 5, 9] {
+                check_cut_preservation(&g, k);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_forest_certificate_on_mincut() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..6 {
+            let g = generators::gnm_connected(30, 100, 5, &mut rng);
+            let lambda = stoer_wagner_mincut(&g).value;
+            let k = lambda + 2;
+            let scan = scan_certificate(&g, k, &Meter::disabled());
+            let forest = k_certificate(&g, k, &Meter::disabled());
+            assert_eq!(
+                stoer_wagner_mincut(&scan).value,
+                lambda,
+                "scan certificate lost the min cut"
+            );
+            assert_eq!(
+                stoer_wagner_mincut(&forest).value,
+                lambda,
+                "forest certificate lost the min cut"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_never_exceeds_original() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = generators::gnm_connected(20, 80, 100, &mut rng);
+        for k in [1u64, 5, 50, 1000] {
+            let h = scan_certificate(&g, k, &Meter::disabled());
+            assert!(h.total_weight() <= g.total_weight());
+            assert!(h.total_weight() <= k * g.n() as u64);
+        }
+    }
+
+    #[test]
+    fn large_k_keeps_everything_connected() {
+        let g = generators::ring_of_cliques(3, 4, 10, 2);
+        let h = scan_certificate(&g, 10_000, &Meter::disabled());
+        assert!(h.is_connected());
+        assert_eq!(h.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn k_zero_empty() {
+        let g = generators::cycle(6, 3);
+        let h = scan_certificate(&g, 0, &Meter::disabled());
+        assert_eq!(h.m(), 0);
+    }
+
+    #[test]
+    fn disconnected_input() {
+        let g = Graph::from_edges(6, [(0, 1, 3), (1, 2, 3), (3, 4, 3)]);
+        let h = scan_certificate(&g, 2, &Meter::disabled());
+        assert_eq!(h.num_components(), g.num_components());
+    }
+
+    #[test]
+    fn heavy_parallel_edges() {
+        let g = Graph::from_edges(2, [(0, 1, 500), (0, 1, 500)]);
+        let h = scan_certificate(&g, 100, &Meter::disabled());
+        assert!(h.total_weight() >= 100, "connectivity up to k retained");
+        assert!(h.total_weight() <= 200);
+    }
+
+    use pmc_graph::Graph;
+}

@@ -1,0 +1,268 @@
+//! Centroid decomposition (Definition 4.11, Lemma 4.12).
+//!
+//! The decomposition tree has depth `O(log n)`: removing a centroid
+//! leaves components of at most half the size. The paper uses it to
+//! steer the search for interested edges (Claim 4.13); this workspace's
+//! default interest search uses heavy paths instead (see DESIGN.md), but
+//! the decomposition is provided, tested and benchmarked as part of the
+//! Lemma 4.12 reproduction.
+
+use crate::rooted::RootedTree;
+use pmc_parallel::meter::{CostKind, Meter};
+
+/// Centroid decomposition of a rooted tree.
+#[derive(Debug, Clone)]
+pub struct CentroidDecomposition {
+    /// Parent in the centroid tree; `u32::MAX` for the top centroid.
+    parent_c: Vec<u32>,
+    /// Depth in the centroid tree (top centroid = 0).
+    depth_c: Vec<u32>,
+    top: u32,
+}
+
+impl CentroidDecomposition {
+    pub fn build(tree: &RootedTree, meter: &Meter) -> Self {
+        let n = tree.n();
+        meter.add(CostKind::TreeOp, (n.max(1) as u64) * (usize::BITS as u64 - n.max(1).leading_zeros() as u64));
+        // Undirected adjacency from the rooted structure.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n as u32 {
+            if v != tree.root() {
+                let p = tree.parent(v);
+                adj[v as usize].push(p);
+                adj[p as usize].push(v);
+            }
+        }
+        let mut parent_c = vec![u32::MAX; n];
+        let mut depth_c = vec![u32::MAX; n];
+        let mut removed = vec![false; n];
+        let mut size = vec![0u32; n];
+        let mut top = 0u32;
+
+        // Work queue of (component representative, centroid parent, depth).
+        let mut queue: Vec<(u32, u32, u32)> = vec![(tree.root(), u32::MAX, 0)];
+        let mut stack: Vec<(u32, u32)> = Vec::new();
+        let mut order: Vec<u32> = Vec::new();
+
+        // DFS parent within the current component, indexed by vertex.
+        let mut dfs_parent = vec![u32::MAX; n];
+
+        while let Some((rep, cpar, cdepth)) = queue.pop() {
+            // Collect the component in DFS preorder, recording DFS parents.
+            order.clear();
+            stack.clear();
+            stack.push((rep, u32::MAX));
+            while let Some((v, from)) = stack.pop() {
+                order.push(v);
+                dfs_parent[v as usize] = from;
+                for &u in &adj[v as usize] {
+                    if u != from && !removed[u as usize] {
+                        stack.push((u, v));
+                    }
+                }
+            }
+            // Subtree sizes by reverse-preorder accumulation.
+            let comp_size = order.len() as u32;
+            for &v in &order {
+                size[v as usize] = 1;
+            }
+            for &v in order.iter().rev() {
+                let p = dfs_parent[v as usize];
+                if p != u32::MAX {
+                    size[p as usize] += size[v as usize];
+                }
+            }
+            // Find the centroid: walk from rep toward any too-big part.
+            let mut c = rep;
+            'outer: loop {
+                for &u in &adj[c as usize] {
+                    if removed[u as usize] || dfs_parent[u as usize] != c {
+                        continue;
+                    }
+                    if size[u as usize] * 2 > comp_size {
+                        c = u;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            // The part above c must also be at most half.
+            debug_assert!((comp_size - size[c as usize]) * 2 <= comp_size);
+
+            parent_c[c as usize] = cpar;
+            depth_c[c as usize] = cdepth;
+            if cpar == u32::MAX {
+                top = c;
+            }
+            removed[c as usize] = true;
+            for &u in &adj[c as usize] {
+                if !removed[u as usize] {
+                    queue.push((u, c, cdepth + 1));
+                }
+            }
+        }
+        CentroidDecomposition { parent_c, depth_c, top }
+    }
+
+    /// The root of the centroid tree.
+    #[inline]
+    pub fn top(&self) -> u32 {
+        self.top
+    }
+
+    /// Parent of `v` in the centroid tree (`u32::MAX` at the top).
+    #[inline]
+    pub fn parent(&self, v: u32) -> u32 {
+        self.parent_c[v as usize]
+    }
+
+    /// Depth of `v` in the centroid tree.
+    #[inline]
+    pub fn depth(&self, v: u32) -> u32 {
+        self.depth_c[v as usize]
+    }
+
+    /// Maximum centroid-tree depth (`O(log n)` by Lemma 4.12).
+    pub fn max_depth(&self) -> u32 {
+        self.depth_c.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Is `a` an ancestor of `b` in the centroid tree (inclusive)?
+    pub fn is_centroid_ancestor(&self, a: u32, b: u32) -> bool {
+        let mut v = b;
+        loop {
+            if v == a {
+                return true;
+            }
+            if self.depth_c[v as usize] == 0 {
+                return false;
+            }
+            v = self.parent_c[v as usize];
+        }
+    }
+
+    /// Centroid-tree ancestors of `v`, from `v` to the top.
+    pub fn ancestors(&self, v: u32) -> Vec<u32> {
+        let mut out = vec![v];
+        let mut cur = v;
+        while self.parent_c[cur as usize] != u32::MAX {
+            cur = self.parent_c[cur as usize];
+            out.push(cur);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_tree(n: u32, rng: &mut StdRng) -> RootedTree {
+        let parent: Vec<u32> =
+            (0..n).map(|v| if v == 0 { 0 } else { rng.random_range(0..v) }).collect();
+        RootedTree::from_parents(0, &parent)
+    }
+
+    #[test]
+    fn every_vertex_assigned() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let t = random_tree(300, &mut rng);
+        let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+        let mut tops = 0;
+        for v in 0..300u32 {
+            assert_ne!(cd.depth(v), u32::MAX, "vertex {v} unassigned");
+            if cd.parent(v) == u32::MAX {
+                tops += 1;
+                assert_eq!(cd.top(), v);
+            }
+        }
+        assert_eq!(tops, 1);
+    }
+
+    #[test]
+    fn depth_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(82);
+        for n in [15u32, 127, 1024, 5000] {
+            let t = random_tree(n, &mut rng);
+            let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+            let bound = (n as f64).log2().ceil() as u32 + 1;
+            assert!(cd.max_depth() <= bound, "n={n}: depth {} > {bound}", cd.max_depth());
+        }
+    }
+
+    #[test]
+    fn path_tree_depth_logarithmic() {
+        let n = 1024u32;
+        let parent: Vec<u32> = (0..n).map(|v| v.saturating_sub(1)).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+        assert!(cd.max_depth() <= 11);
+    }
+
+    #[test]
+    fn centroid_lca_lies_on_tree_path() {
+        // Classic property: for any u, v the lowest common centroid
+        // ancestor lies on the tree path between u and v.
+        let mut rng = StdRng::seed_from_u64(83);
+        let t = random_tree(120, &mut rng);
+        let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+        let on_path = |u: u32, v: u32, x: u32| -> bool {
+            // naive tree path
+            let mut pu = vec![u];
+            let mut a = u;
+            while a != t.root() {
+                a = t.parent(a);
+                pu.push(a);
+            }
+            let mut pv = vec![v];
+            let mut b = v;
+            while b != t.root() {
+                b = t.parent(b);
+                pv.push(b);
+            }
+            let setu: std::collections::HashSet<u32> = pu.iter().copied().collect();
+            let lca = *pv.iter().find(|x| setu.contains(x)).unwrap();
+            let du = pu.iter().position(|&y| y == lca).unwrap();
+            let dv = pv.iter().position(|&y| y == lca).unwrap();
+            pu[..=du].contains(&x) || pv[..=dv].contains(&x)
+        };
+        for _ in 0..300 {
+            let u = rng.random_range(0..120);
+            let v = rng.random_range(0..120);
+            let au = cd.ancestors(u);
+            let av: std::collections::HashSet<u32> = cd.ancestors(v).into_iter().collect();
+            let meet = *au.iter().find(|x| av.contains(x)).unwrap();
+            assert!(on_path(u, v, meet), "centroid meet {meet} off path {u}-{v}");
+        }
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let t = random_tree(60, &mut rng);
+        let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+        for v in 0..60u32 {
+            assert!(cd.is_centroid_ancestor(cd.top(), v));
+            assert!(cd.is_centroid_ancestor(v, v));
+        }
+    }
+
+    #[test]
+    fn single_vertex() {
+        let t = RootedTree::from_parents(0, &[0]);
+        let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+        assert_eq!(cd.top(), 0);
+        assert_eq!(cd.max_depth(), 0);
+    }
+
+    #[test]
+    fn two_vertices() {
+        let t = RootedTree::from_parents(0, &[0, 0]);
+        let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+        assert!(cd.max_depth() <= 1);
+        assert!(cd.is_centroid_ancestor(cd.top(), 0));
+        assert!(cd.is_centroid_ancestor(cd.top(), 1));
+    }
+}

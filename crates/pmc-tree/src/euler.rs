@@ -1,0 +1,216 @@
+//! The Euler-tour technique ([J'92]) and sparse-table RMQ LCA.
+//!
+//! The paper invokes "the Eulerian circuit technique" for postorder
+//! numbers, subtree sizes and descendant counts (Lemma A.1, Lemma 4.12).
+//! This module materializes the tour itself — the DFS edge walk of
+//! length `2n - 1` in vertex-visit form — plus the classic
+//! `O(n log n)`-table constant-time LCA over it, which cross-checks the
+//! binary-lifting [`crate::lca::LcaTable`] and gives `O(1)` queries
+//! where the interest search is query-bound.
+
+use crate::rooted::RootedTree;
+use pmc_parallel::meter::{CostKind, Meter};
+
+/// Euler tour of a rooted tree with first-visit indices and a sparse
+/// min-table over visit depths (RMQ -> LCA).
+#[derive(Debug, Clone)]
+pub struct EulerTour {
+    /// Vertex visited at each tour position (`2n - 1` entries).
+    tour: Vec<u32>,
+    /// Depth of the vertex at each tour position.
+    tour_depth: Vec<u32>,
+    /// First tour position of each vertex.
+    first: Vec<u32>,
+    /// `sparse[k][i]` = position of the minimum depth in
+    /// `tour[i .. i + 2^k)`.
+    sparse: Vec<Vec<u32>>,
+}
+
+impl EulerTour {
+    pub fn build(tree: &RootedTree, meter: &Meter) -> Self {
+        let n = tree.n();
+        meter.add(CostKind::TreeOp, (2 * n) as u64);
+        let mut tour = Vec::with_capacity(2 * n);
+        let mut tour_depth = Vec::with_capacity(2 * n);
+        let mut first = vec![u32::MAX; n];
+        // Iterative DFS emitting a vertex on entry and after each child.
+        let mut stack: Vec<(u32, usize)> = vec![(tree.root(), 0)];
+        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+            if *cursor == 0 {
+                if first[v as usize] == u32::MAX {
+                    first[v as usize] = tour.len() as u32;
+                }
+                tour.push(v);
+                tour_depth.push(tree.depth(v));
+            }
+            let kids = tree.children(v);
+            if *cursor < kids.len() {
+                let c = kids[*cursor];
+                *cursor += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _)) = stack.last_mut() {
+                    tour.push(p);
+                    tour_depth.push(tree.depth(p));
+                }
+            }
+        }
+        debug_assert_eq!(tour.len(), 2 * n - 1);
+
+        // Sparse table over tour positions by depth.
+        let len = tour.len();
+        let levels = (usize::BITS - len.max(1).leading_zeros()) as usize;
+        let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        sparse.push((0..len as u32).collect());
+        let mut k = 1;
+        while (1 << k) <= len {
+            let half = 1 << (k - 1);
+            let prev = &sparse[k - 1];
+            let cur: Vec<u32> = (0..len - (1 << k) + 1)
+                .map(|i| {
+                    let a = prev[i];
+                    let b = prev[i + half];
+                    if tour_depth[a as usize] <= tour_depth[b as usize] {
+                        a
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            sparse.push(cur);
+            k += 1;
+        }
+        EulerTour { tour, tour_depth, first, sparse }
+    }
+
+    /// Tour length (`2n - 1`).
+    pub fn len(&self) -> usize {
+        self.tour.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tour.is_empty()
+    }
+
+    /// The vertex sequence of the tour.
+    pub fn tour(&self) -> &[u32] {
+        &self.tour
+    }
+
+    /// First tour position of `v`.
+    pub fn first_visit(&self, v: u32) -> u32 {
+        self.first[v as usize]
+    }
+
+    /// Lowest common ancestor in `O(1)` via depth RMQ on the tour.
+    pub fn lca(&self, a: u32, b: u32) -> u32 {
+        let (mut i, mut j) = (self.first[a as usize] as usize, self.first[b as usize] as usize);
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let span = j - i + 1;
+        let k = (usize::BITS - span.leading_zeros() - 1) as usize;
+        let x = self.sparse[k][i];
+        let y = self.sparse[k][j + 1 - (1 << k)];
+        let pos = if self.tour_depth[x as usize] <= self.tour_depth[y as usize] { x } else { y };
+        self.tour[pos as usize]
+    }
+
+    /// Tree distance via the RMQ LCA.
+    pub fn distance(&self, a: u32, b: u32, tree: &RootedTree) -> u32 {
+        let l = self.lca(a, b);
+        tree.depth(a) + tree.depth(b) - 2 * tree.depth(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lca::LcaTable;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_tree(n: u32, rng: &mut StdRng) -> RootedTree {
+        let parent: Vec<u32> =
+            (0..n).map(|v| if v == 0 { 0 } else { rng.random_range(0..v) }).collect();
+        RootedTree::from_parents(0, &parent)
+    }
+
+    #[test]
+    fn tour_shape() {
+        let t = RootedTree::from_parents(0, &[0, 0, 0, 1, 1, 2, 4]);
+        let e = EulerTour::build(&t, &Meter::disabled());
+        assert_eq!(e.len(), 2 * 7 - 1);
+        assert_eq!(e.tour()[0], 0);
+        assert_eq!(*e.tour().last().unwrap(), 0);
+        // Every vertex appears; first visits are consistent.
+        for v in 0..7u32 {
+            assert_eq!(e.tour()[e.first_visit(v) as usize], v);
+        }
+        // Consecutive tour vertices are tree neighbours.
+        for w in e.tour().windows(2) {
+            assert!(
+                t.parent(w[0]) == w[1] || t.parent(w[1]) == w[0],
+                "tour steps along tree edges"
+            );
+        }
+    }
+
+    #[test]
+    fn rmq_lca_matches_binary_lifting() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for n in [2u32, 5, 30, 200, 1000] {
+            let t = random_tree(n, &mut rng);
+            let euler = EulerTour::build(&t, &Meter::disabled());
+            let lifting = LcaTable::build(&t);
+            for _ in 0..300 {
+                let a = rng.random_range(0..n);
+                let b = rng.random_range(0..n);
+                assert_eq!(euler.lca(a, b), lifting.lca(a, b), "n={n} ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_of_self_and_root() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let t = random_tree(50, &mut rng);
+        let e = EulerTour::build(&t, &Meter::disabled());
+        for v in 0..50u32 {
+            assert_eq!(e.lca(v, v), v);
+            assert_eq!(e.lca(v, 0), 0);
+        }
+    }
+
+    #[test]
+    fn distances_match() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let t = random_tree(120, &mut rng);
+        let e = EulerTour::build(&t, &Meter::disabled());
+        let l = LcaTable::build(&t);
+        for _ in 0..200 {
+            let a = rng.random_range(0..120);
+            let b = rng.random_range(0..120);
+            assert_eq!(e.distance(a, b, &t), l.distance(a, b));
+        }
+    }
+
+    #[test]
+    fn deep_path_tour() {
+        let n = 50_000u32;
+        let parent: Vec<u32> = (0..n).map(|v| v.saturating_sub(1)).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let e = EulerTour::build(&t, &Meter::disabled());
+        assert_eq!(e.len(), 2 * n as usize - 1);
+        assert_eq!(e.lca(100, 40_000), 100);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let t = RootedTree::from_parents(0, &[0]);
+        let e = EulerTour::build(&t, &Meter::disabled());
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.lca(0, 0), 0);
+    }
+}

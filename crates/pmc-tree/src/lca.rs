@@ -1,0 +1,176 @@
+//! Binary-lifting LCA and level-ancestor queries.
+//!
+//! The interest search (§4.1.3) binary-searches along root-to-vertex
+//! chains; [`LcaTable::ancestor_at_depth`] provides the `O(log n)` jump
+//! primitive. Construction is `O(n log n)` work, queries `O(log n)`.
+
+use crate::rooted::RootedTree;
+
+/// Sparse jump-pointer table over a [`RootedTree`].
+#[derive(Debug, Clone)]
+pub struct LcaTable {
+    /// `up[k][v]` = the `2^k`-th ancestor of `v` (clamped at the root).
+    up: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+}
+
+impl LcaTable {
+    pub fn build(tree: &RootedTree) -> Self {
+        let n = tree.n();
+        let levels = usize::BITS as usize - n.max(2).leading_zeros() as usize;
+        let mut up = Vec::with_capacity(levels);
+        let base: Vec<u32> = (0..n as u32).map(|v| tree.parent(v)).collect();
+        up.push(base);
+        for k in 1..levels.max(1) {
+            let prev = &up[k - 1];
+            let next: Vec<u32> = (0..n).map(|v| prev[prev[v] as usize]).collect();
+            up.push(next);
+        }
+        let depth = (0..n as u32).map(|v| tree.depth(v)).collect();
+        LcaTable { up, depth }
+    }
+
+    #[inline]
+    pub fn depth(&self, v: u32) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// The `k`-th ancestor of `v` (clamped at the root).
+    pub fn kth_ancestor(&self, mut v: u32, mut k: u32) -> u32 {
+        let mut level = 0;
+        while k > 0 && level < self.up.len() {
+            if k & 1 == 1 {
+                v = self.up[level][v as usize];
+            }
+            k >>= 1;
+            level += 1;
+        }
+        v
+    }
+
+    /// The ancestor of `v` at depth `d`; panics if `d > depth(v)`.
+    pub fn ancestor_at_depth(&self, v: u32, d: u32) -> u32 {
+        let dv = self.depth[v as usize];
+        assert!(d <= dv, "requested depth below vertex");
+        self.kth_ancestor(v, dv - d)
+    }
+
+    /// Lowest common ancestor of `a` and `b`.
+    pub fn lca(&self, mut a: u32, mut b: u32) -> u32 {
+        if self.depth[a as usize] < self.depth[b as usize] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        a = self.kth_ancestor(a, self.depth[a as usize] - self.depth[b as usize]);
+        if a == b {
+            return a;
+        }
+        for level in (0..self.up.len()).rev() {
+            let (ua, ub) = (self.up[level][a as usize], self.up[level][b as usize]);
+            if ua != ub {
+                a = ua;
+                b = ub;
+            }
+        }
+        self.up[0][a as usize]
+    }
+
+    /// Distance (number of tree edges) between `a` and `b`.
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        let l = self.lca(a, b);
+        self.depth[a as usize] + self.depth[b as usize] - 2 * self.depth[l as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (RootedTree, LcaTable) {
+        // Same shape as rooted.rs sample.
+        let t = RootedTree::from_parents(0, &[0, 0, 0, 1, 1, 2, 4]);
+        let l = LcaTable::build(&t);
+        (t, l)
+    }
+
+    #[test]
+    fn kth_ancestors() {
+        let (_, l) = sample();
+        assert_eq!(l.kth_ancestor(6, 1), 4);
+        assert_eq!(l.kth_ancestor(6, 2), 1);
+        assert_eq!(l.kth_ancestor(6, 3), 0);
+        assert_eq!(l.kth_ancestor(6, 99), 0); // clamped
+    }
+
+    #[test]
+    fn ancestor_at_depth() {
+        let (_, l) = sample();
+        assert_eq!(l.ancestor_at_depth(6, 3), 6);
+        assert_eq!(l.ancestor_at_depth(6, 2), 4);
+        assert_eq!(l.ancestor_at_depth(6, 0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ancestor_below_vertex_panics() {
+        let (_, l) = sample();
+        l.ancestor_at_depth(3, 3);
+    }
+
+    #[test]
+    fn lca_pairs() {
+        let (_, l) = sample();
+        assert_eq!(l.lca(3, 6), 1);
+        assert_eq!(l.lca(3, 4), 1);
+        assert_eq!(l.lca(3, 5), 0);
+        assert_eq!(l.lca(6, 5), 0);
+        assert_eq!(l.lca(4, 6), 4);
+        assert_eq!(l.lca(2, 2), 2);
+    }
+
+    #[test]
+    fn distances() {
+        let (_, l) = sample();
+        assert_eq!(l.distance(3, 6), 3);
+        assert_eq!(l.distance(5, 6), 5);
+        assert_eq!(l.distance(0, 0), 0);
+    }
+
+    #[test]
+    fn long_path_correct() {
+        let n = 1 << 12;
+        let parent: Vec<u32> = (0..n as u32).map(|v| v.saturating_sub(1)).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let l = LcaTable::build(&t);
+        assert_eq!(l.lca(100, 4000), 100);
+        assert_eq!(l.kth_ancestor(4095, 4095), 0);
+        assert_eq!(l.ancestor_at_depth(4095, 1234), 1234);
+        assert_eq!(l.distance(10, 20), 10);
+    }
+
+    #[test]
+    fn random_tree_lca_vs_naive() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 300u32;
+        let parent: Vec<u32> =
+            (0..n).map(|v| if v == 0 { 0 } else { rng.random_range(0..v) }).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let l = LcaTable::build(&t);
+        let naive_lca = |mut a: u32, mut b: u32| {
+            while a != b {
+                if t.depth(a) >= t.depth(b) {
+                    a = t.parent(a);
+                } else {
+                    b = t.parent(b);
+                }
+            }
+            a
+        };
+        for _ in 0..500 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            assert_eq!(l.lca(a, b), naive_lca(a, b));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Rooted tree machinery for the 2-respecting min-cut algorithm.
+//!
+//! Everything in §4.1 of the paper operates on a rooted spanning tree
+//! `T`: tree edges are identified with their lower endpoint (the child),
+//! subtrees with contiguous postorder intervals, and tree decompositions
+//! steer the search for the two cut edges. This crate provides:
+//!
+//! * [`rooted::RootedTree`]: parent/children arrays, depth, subtree
+//!   size, postorder numbering and the `start(u)`/`post(u)` interval
+//!   machinery of Lemma A.1 (computed by the Euler-tour technique,
+//!   implemented as iterative DFS so path-shaped trees do not overflow
+//!   the stack);
+//! * [`euler`]: the explicit Euler tour ([J'92]) with sparse-table RMQ
+//!   LCA in O(1) per query;
+//! * [`lca`]: binary-lifting LCA and level ancestors;
+//! * [`paths`]: heavy-path and bough decompositions — both satisfy
+//!   Property 4.3 (any root-to-leaf path meets `O(log n)` decomposition
+//!   paths) — plus the Root-paths query structure of Lemma 4.5;
+//! * [`centroid`]: the centroid decomposition of Definition 4.11 /
+//!   Lemma 4.12.
+
+pub mod centroid;
+pub mod euler;
+pub mod lca;
+pub mod paths;
+pub mod rooted;
+
+pub use centroid::CentroidDecomposition;
+pub use euler::EulerTour;
+pub use lca::LcaTable;
+pub use paths::{PathDecomposition, PathStrategy};
+pub use rooted::RootedTree;

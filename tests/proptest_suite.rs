@@ -1,0 +1,231 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! Strategy: generate small random connected weighted graphs (and trees
+//! where needed) and check the algebraic identities and cross-algorithm
+//! agreements the pipeline is built on.
+
+use parallel_mincut::prelude::*;
+use pmc_graph::generators;
+use pmc_tree::{LcaTable, PathDecomposition, PathStrategy, RootedTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A connected weighted graph from a compact description.
+fn graph_from(n: usize, extra: usize, max_w: u64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::gnm_connected(n.max(2), extra, max_w.max(1), &mut rng)
+}
+
+fn spanning_tree(g: &Graph, root: u32) -> RootedTree {
+    let forest = pmc_parallel::spanning_forest::spanning_forest(g, &Meter::disabled());
+    let edges: Vec<(u32, u32)> =
+        forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
+    RootedTree::from_edge_list(g.n(), &edges, root)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The full pipeline is exact on arbitrary small connected graphs.
+    #[test]
+    fn pipeline_matches_stoer_wagner(
+        n in 4usize..20,
+        extra in 0usize..40,
+        max_w in 1u64..50,
+        seed in 0u64..1000,
+    ) {
+        let g = graph_from(n, extra, max_w, seed);
+        let expect = stoer_wagner_mincut(&g).value;
+        let got = exact_mincut(&g, &ExactParams { seed, ..ExactParams::default() });
+        prop_assert_eq!(got.cut.value, expect);
+    }
+
+    /// cut(e, f) from the range structure equals the partition value.
+    #[test]
+    fn cut_queries_match_partitions(
+        n in 4usize..16,
+        extra in 0usize..30,
+        seed in 0u64..1000,
+    ) {
+        let g = graph_from(n, extra, 9, seed);
+        let t = spanning_tree(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.4, &Meter::disabled());
+        let m = Meter::disabled();
+        for e in 1..g.n() as u32 {
+            for f in e + 1..g.n() as u32 {
+                let side_vs = q.cut_side(e, f);
+                let mut side = vec![false; g.n()];
+                for &v in &side_vs {
+                    side[v as usize] = true;
+                }
+                prop_assert_eq!(q.cut(e, f, &m), cut_of_partition(&g, &side));
+            }
+        }
+    }
+
+    /// The filtered 2-respecting solver equals the all-pairs oracle.
+    #[test]
+    fn filtered_solver_equals_naive(
+        n in 4usize..18,
+        extra in 0usize..35,
+        seed in 0u64..1000,
+        strategy in prop_oneof![Just(PathStrategy::HeavyPath), Just(PathStrategy::Bough)],
+    ) {
+        let g = graph_from(n, extra, 9, seed);
+        let t = spanning_tree(&g, 0);
+        let params = TwoRespectParams { strategy, ..TwoRespectParams::default() };
+        let fast = two_respecting_mincut(&g, &t, &params, &Meter::disabled());
+        let naive = naive_two_respecting(&g, &t, 0.4, &Meter::disabled());
+        prop_assert_eq!(fast.cut.value, naive.cut.value);
+    }
+
+    /// Single-path cut matrices satisfy the paper's partial-Monge
+    /// (supermodular) inequality in every off-diagonal 2x2 window.
+    #[test]
+    fn single_path_matrices_supermodular(
+        n in 6usize..16,
+        extra in 0usize..25,
+        seed in 0u64..500,
+    ) {
+        let g = graph_from(n, extra, 7, seed);
+        let t = spanning_tree(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        let m = Meter::disabled();
+        let d = PathDecomposition::build(&t, PathStrategy::HeavyPath, &m);
+        for p in d.paths() {
+            let l = p.len();
+            for i in 0..l.saturating_sub(1) {
+                for j in i + 2..l.saturating_sub(1) {
+                    let a = q.cut(p[i], p[j], &m) as i128 + q.cut(p[i + 1], p[j + 1], &m) as i128;
+                    let b = q.cut(p[i], p[j + 1], &m) as i128 + q.cut(p[i + 1], p[j], &m) as i128;
+                    prop_assert!(a >= b);
+                }
+            }
+        }
+    }
+
+    /// k-certificates never increase cuts and preserve small cuts
+    /// exactly (random partitions instead of exhaustive).
+    #[test]
+    fn certificates_preserve_small_cuts(
+        n in 4usize..14,
+        extra in 0usize..25,
+        k in 1u64..8,
+        seed in 0u64..500,
+    ) {
+        let g = graph_from(n, extra, 4, seed);
+        let h = pmc_sparsify::k_certificate(&g, k, &Meter::disabled());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        use rand::RngExt;
+        for _ in 0..20 {
+            let side: Vec<bool> = (0..g.n()).map(|_| rng.random::<bool>()).collect();
+            if side.iter().all(|&b| b) || side.iter().all(|&b| !b) {
+                continue;
+            }
+            let cg = cut_of_partition(&g, &side);
+            let ch = cut_of_partition(&h, &side);
+            prop_assert!(ch <= cg);
+            if cg <= k {
+                prop_assert_eq!(ch, cg);
+            } else {
+                prop_assert!(ch >= k);
+            }
+        }
+    }
+
+    /// Interest arms cover the brute-force interesting set.
+    #[test]
+    fn interest_arms_cover(
+        n in 5usize..16,
+        extra in 2usize..30,
+        seed in 0u64..500,
+    ) {
+        let g = graph_from(n, extra, 9, seed);
+        let t = spanning_tree(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        let is = pmc_mincut::InterestSearch::build(&q, &lca, &Meter::disabled());
+        let m = Meter::disabled();
+        for e in 1..g.n() as u32 {
+            let arms = is.arms(e, &m);
+            let mut cover = std::collections::HashSet::new();
+            for mut v in [arms.de, arms.ce] {
+                loop {
+                    cover.insert(v);
+                    if v == t.root() {
+                        break;
+                    }
+                    v = t.parent(v);
+                }
+            }
+            for f in is.brute_interesting_set(e, &m) {
+                prop_assert!(cover.contains(&f), "edge {} not covered for e={}", f, e);
+            }
+        }
+    }
+
+    /// Karger–Stein never undershoots and the pipeline equals it on its
+    /// high-confidence settings.
+    #[test]
+    fn karger_stein_upper_bounds(
+        n in 5usize..14,
+        extra in 0usize..25,
+        seed in 0u64..300,
+    ) {
+        let g = graph_from(n, extra, 6, seed);
+        let expect = stoer_wagner_mincut(&g).value;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ks = karger_stein_mincut(&g, 2, &mut rng);
+        prop_assert!(ks.value >= expect);
+    }
+
+    /// Graph text format round-trips arbitrary graphs.
+    #[test]
+    fn io_round_trip(
+        n in 2usize..20,
+        extra in 0usize..40,
+        max_w in 1u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let g = graph_from(n, extra, max_w, seed);
+        let text = pmc_graph::io::write_graph(&g);
+        let g2 = pmc_graph::io::parse_graph(&text).unwrap();
+        prop_assert_eq!(g.edges(), g2.edges());
+        prop_assert_eq!(g.n(), g2.n());
+    }
+
+    /// Parallel prefix sums and radix sort match std equivalents.
+    #[test]
+    fn scan_and_sort_match_std(values in prop::collection::vec(0u64..1_000_000, 0..2000)) {
+        let scanned = pmc_parallel::scan::exclusive_scan(&values);
+        let mut acc = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(scanned[i], acc);
+            acc += v;
+        }
+        prop_assert_eq!(scanned[values.len()], acc);
+
+        let mut sorted = values.clone();
+        pmc_parallel::sort::radix_sort(&mut sorted);
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    /// Capped binomial sampling respects its bounds.
+    #[test]
+    fn binomial_capped_bounds(
+        n in 0u64..1_000_000,
+        p in 0.0f64..1.0,
+        cap in 0u64..500,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = pmc_sparsify::binomial_capped(n, p, cap, &mut rng);
+        prop_assert!(x <= cap);
+        prop_assert!(x <= n);
+    }
+}
