@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmc_parallel::Meter;
 use pmc_range::{Point1, Point2, RangeTree2D, WeightTree1D};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn points2(m: usize, universe: u32, seed: u64) -> Vec<Point2> {

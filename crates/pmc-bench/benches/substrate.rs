@@ -11,7 +11,7 @@ use pmc_tree::{
     CentroidDecomposition, EulerTour, LcaTable, PathDecomposition, PathStrategy, RootedTree,
 };
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_tree(n: u32, seed: u64) -> RootedTree {

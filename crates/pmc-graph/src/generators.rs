@@ -8,7 +8,7 @@
 //! minimum cuts for correctness checks.
 
 use crate::graph::{Graph, GraphBuilder, VertexId};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Random multigraph with exactly `m` edges drawn uniformly from all
 /// unordered vertex pairs (parallel edges allowed, self-loops resampled)

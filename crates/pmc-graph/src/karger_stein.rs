@@ -8,7 +8,7 @@
 
 use crate::graph::{Graph, VertexId};
 use crate::CutResult;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 struct Contracted {
     /// Dense symmetric weight matrix over active super-vertices.

@@ -42,7 +42,7 @@ pub mod two_respect;
 
 pub use approx::{approx_mincut, approx_mincut_eps, ApproxParams, ApproxResult};
 pub use cutquery::CutQuery;
-pub use exact::{exact_mincut, mincut_small, ExactParams, ExactResult};
+pub use exact::{exact_mincut, exact_mincut_metered, mincut_small, ExactParams, ExactResult};
 pub use interest::InterestSearch;
 pub use packing::{greedy_tree_packing, PackingParams};
 pub use two_respect::{naive_two_respecting, two_respecting_mincut, TwoRespectParams};

@@ -426,7 +426,7 @@ where
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     /// Random submodular Monge matrix: squared distances between two
     /// sorted coordinate sets (classic construction).

@@ -93,7 +93,7 @@ pub fn pack<T: Copy + Send + Sync>(data: &[T], keep: impl Fn(&T) -> bool + Sync)
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn merge_small() {

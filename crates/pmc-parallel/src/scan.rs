@@ -67,7 +67,7 @@ pub fn inclusive_scan(data: &[u64]) -> Vec<u64> {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn exclusive_small() {

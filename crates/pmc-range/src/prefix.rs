@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn random_vs_bruteforce() {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
         let points: Vec<Point1> = (0..500)
             .map(|_| Point1 { x: rng.random_range(0..100), w: rng.random_range(1..10) })

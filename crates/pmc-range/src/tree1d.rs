@@ -127,7 +127,7 @@ mod tests {
     use super::*;
     use crate::PrefixSumIndex;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn pts(v: &[(u32, u64)]) -> Vec<Point1> {
         v.iter().map(|&(x, w)| Point1 { x, w }).collect()

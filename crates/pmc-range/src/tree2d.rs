@@ -193,7 +193,7 @@ impl RangeTree2D {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn brute(points: &[Point2], x1: u32, x2: u32, y1: u32, y2: u32) -> u64 {
         points

@@ -16,7 +16,7 @@
 //!   only concentration matters to the algorithms (DESIGN.md records
 //!   this substitution).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Above this expected value the CDF walk switches to the normal
 /// approximation (`exp(-700)` underflows f64; stay well below).

@@ -157,7 +157,7 @@ impl CentroidDecomposition {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_tree(n: u32, rng: &mut StdRng) -> RootedTree {
         let parent: Vec<u32> =

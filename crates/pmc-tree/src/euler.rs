@@ -129,7 +129,7 @@ mod tests {
     use super::*;
     use crate::lca::LcaTable;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn random_tree(n: u32, rng: &mut StdRng) -> RootedTree {
         let parent: Vec<u32> =

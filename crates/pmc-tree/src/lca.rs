@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn random_tree_lca_vs_naive() {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(77);
         let n = 300u32;
         let parent: Vec<u32> =

@@ -230,7 +230,7 @@ fn bough_paths(tree: &RootedTree) -> Vec<Vec<u32>> {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn sample() -> RootedTree {
         // Shape from rooted.rs: 0-(1,2), 1-(3,4), 2-5, 4-6.

@@ -50,7 +50,7 @@ fn caterpillar_trees_stress() {
     for &(u, v) in &edges {
         gb.add_edge(u, v, 3);
     }
-    use rand::RngExt;
+    use rand::Rng;
     for _ in 0..120 {
         let u = rng.random_range(0..n as u32);
         let v = rng.random_range(0..n as u32);
@@ -86,7 +86,7 @@ fn broom_tree_stress() {
         gb.add_edge(u, v, 2);
     }
     let mut rng = StdRng::seed_from_u64(44);
-    use rand::RngExt;
+    use rand::Rng;
     for _ in 0..150 {
         let u = rng.random_range(0..n as u32);
         let v = rng.random_range(0..n as u32);

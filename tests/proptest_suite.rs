@@ -119,7 +119,7 @@ proptest! {
         let g = graph_from(n, extra, 4, seed);
         let h = pmc_sparsify::k_certificate(&g, k, &Meter::disabled());
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-        use rand::RngExt;
+        use rand::Rng;
         for _ in 0..20 {
             let side: Vec<bool> = (0..g.n()).map(|_| rng.random::<bool>()).collect();
             if side.iter().all(|&b| b) || side.iter().all(|&b| !b) {

@@ -1,0 +1,150 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property suite
+//! uses: the `proptest!` macro, range/`Just`/`prop_oneof!`/collection
+//! strategies, `ProptestConfig { cases, .. }`, and the `prop_assert*`
+//! macros. Cases are generated from a fixed-seed [`rand::rngs::StdRng`]
+//! stream, so failures are deterministic and reproducible; there is no
+//! shrinking — the panic message reports the failing case index and the
+//! sampled arguments' debug formatting is left to the property body.
+//!
+//! Swapping in the real proptest restores shrinking with no source
+//! changes at the call sites.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`, the module alias the real
+    /// crate exposes for `prop::collection::vec(...)` etc.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The `proptest! { ... }` test-definition macro.
+///
+/// Supports the same shape the real macro accepts for this workspace's
+/// suite: an optional `#![proptest_config(expr)]` inner attribute, then
+/// `#[test] fn name(arg in strategy, ...) { body }` items (doc comments
+/// and other outer attributes allowed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Per-test deterministic stream: same seed each run.
+                let mut __pt_rng = <::rand::rngs::StdRng as ::rand::SeedableRng>
+                    ::seed_from_u64($crate::test_runner::seed_for(stringify!($name)));
+                for __pt_case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __pt_rng);
+                    )+
+                    let __pt_result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = __pt_result {
+                        panic!(
+                            "proptest property `{}` failed at case {}/{}: {}",
+                            stringify!($name), __pt_case + 1, config.cases, message,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} ({})", format!($($fmt)+), stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right` ({})\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r,
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `left != right`\n  both: {:?}", l),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left != right` ({})\n  both: {:?}",
+                format!($($fmt)+), l,
+            ));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}

@@ -1,0 +1,138 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of random values of one type.
+///
+/// The real proptest `Strategy` produces shrinkable value *trees*; the
+/// shim only samples, which is all the runner macro needs.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Box a strategy, unifying on the value type (used by `prop_oneof!`).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rng.random_range(self.start as f64..self.end as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_just_sample_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (1u64..=4).sample(&mut rng);
+            assert!((1..=4).contains(&b));
+            assert_eq!(Just(42).sample(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_option() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = OneOf::new(vec![boxed(Just(1)), boxed(Just(2)), boxed(Just(3))]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Runner configuration.
+
+/// Mirror of `proptest::test_runner::Config` (the fields this workspace
+/// uses, with proptest's `..Default::default()` update syntax).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; the shim never rejects inputs
+    /// so the bound is never hit.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_global_rejects: 1024 }
+    }
+}
+
+/// Deterministic per-property seed: FNV-1a over the property name, so
+/// every property gets an independent but stable case stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,297 @@
+//! Sequential parallel-iterator adapters with rayon's method surface.
+//!
+//! [`ParIter`] wraps any `std` iterator and mirrors the adapter names
+//! rayon exposes (`map`, `filter`, `flat_map_iter`, rayon's two-argument
+//! `reduce`, ...). Entry points (`par_iter`, `into_par_iter`,
+//! `par_chunks`, `par_bridge`, ...) are blanket-implemented so call
+//! sites compile identically against this shim and the real crate.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+#[derive(Debug, Clone)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn new(inner: I) -> Self {
+        ParIter { inner }
+    }
+
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter::new(self.inner.map(f))
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter::new(self.inner.filter(p))
+    }
+
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter::new(self.inner.filter_map(f))
+    }
+
+    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter::new(self.inner.flat_map(f))
+    }
+
+    /// rayon's `flat_map` takes a parallel-iterable; sequentially the
+    /// two coincide.
+    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter::new(self.inner.flat_map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter::new(self.inner.enumerate())
+    }
+
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J: Iterator,
+    {
+        ParIter::new(self.inner.zip(other.inner))
+    }
+
+    pub fn chain<J>(self, other: ParIter<J>) -> ParIter<std::iter::Chain<I, J>>
+    where
+        J: Iterator<Item = I::Item>,
+    {
+        ParIter::new(self.inner.chain(other.inner))
+    }
+
+    pub fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+        T: Clone + 'a,
+    {
+        ParIter::new(self.inner.cloned())
+    }
+
+    pub fn copied<'a, T>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+        T: Copy + 'a,
+    {
+        ParIter::new(self.inner.copied())
+    }
+
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    pub fn min_by_key<K, F>(self, f: F) -> Option<I::Item>
+    where
+        K: Ord,
+        F: FnMut(&I::Item) -> K,
+    {
+        self.inner.min_by_key(f)
+    }
+
+    pub fn max_by_key<K, F>(self, f: F) -> Option<I::Item>
+    where
+        K: Ord,
+        F: FnMut(&I::Item) -> K,
+    {
+        self.inner.max_by_key(f)
+    }
+
+    pub fn any<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.inner.any(p)
+    }
+
+    pub fn all<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.inner.all(p)
+    }
+
+    /// rayon's two-argument reduce: fold from `identity()` with `op`.
+    pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        let first = match self.inner.next() {
+            Some(x) => x,
+            None => return identity(),
+        };
+        self.inner.fold(first, op)
+    }
+
+    pub fn reduce_with<OP>(mut self, op: OP) -> Option<I::Item>
+    where
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        let first = self.inner.next()?;
+        Some(self.inner.fold(first, op))
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter::new(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `.par_iter()` on `&collection`.
+pub trait IntoParallelRefIterator<'a> {
+    type RefIter: Iterator;
+    fn par_iter(&'a self) -> ParIter<Self::RefIter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type RefIter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> ParIter<Self::RefIter> {
+        ParIter::new(self.into_iter())
+    }
+}
+
+/// `.par_iter_mut()` on `&mut collection`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type RefMutIter: Iterator;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::RefMutIter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type RefMutIter = <&'a mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::RefMutIter> {
+        ParIter::new(self.into_iter())
+    }
+}
+
+/// `.par_bridge()` on any sequential iterator.
+pub trait ParallelBridge: Iterator + Sized {
+    fn par_bridge(self) -> ParIter<Self> {
+        ParIter::new(self)
+    }
+}
+
+impl<I: Iterator + Sized> ParallelBridge for I {}
+
+/// Chunked views of slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter::new(self.as_ref().chunks(size))
+    }
+}
+
+/// Mutable chunked views and parallel sorts on slices.
+pub trait ParallelSliceMut<T> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter::new(self.as_parallel_slice_mut().chunks_mut(size))
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_parallel_slice_mut().sort();
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_parallel_slice_mut().sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.as_parallel_slice_mut().sort_unstable_by(cmp);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.as_parallel_slice_mut().sort_unstable_by_key(key);
+    }
+}
+
+impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self.as_mut()
+    }
+}

@@ -1,0 +1,212 @@
+//! Vendored stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of rayon's API the workspace uses with honest but simpler
+//! semantics:
+//!
+//! * [`join`] runs its two closures on real OS threads (via
+//!   `std::thread::scope`) while a global budget of live helper threads
+//!   is available, and degrades to sequential execution past the budget
+//!   — so divide-and-conquer call trees still get genuine parallelism
+//!   without unbounded thread spawning;
+//! * the parallel-iterator traits in [`prelude`] are sequential
+//!   adapters with rayon's method signatures (`par_iter`, `map`,
+//!   `reduce(identity, op)`, `flat_map_iter`, ...), which keeps every
+//!   call site source-compatible with the real crate;
+//! * [`ThreadPoolBuilder`] builds a pool object whose `install` scopes
+//!   the value reported by [`current_num_threads`].
+//!
+//! Swapping in the real rayon is a one-line change in the workspace
+//! manifest and makes the same call sites actually data-parallel.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelBridge, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads the "current pool" would use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(hardware_threads)
+}
+
+/// Live helper threads spawned by [`join`], across the process.
+static LIVE_HELPERS: AtomicUsize = AtomicUsize::new(0);
+
+/// An atomically claimed helper-thread slot, released on drop so a
+/// panicking join closure cannot leak budget.
+struct HelperSlot;
+
+impl Drop for HelperSlot {
+    fn drop(&mut self) {
+        LIVE_HELPERS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn try_claim_helper_slot(budget: usize) -> Option<HelperSlot> {
+    let mut live = LIVE_HELPERS.load(Ordering::Relaxed);
+    loop {
+        if live >= budget {
+            return None;
+        }
+        match LIVE_HELPERS.compare_exchange_weak(
+            live,
+            live + 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return Some(HelperSlot),
+            Err(now) => live = now,
+        }
+    }
+}
+
+/// Run `a` and `b`, in parallel when the helper-thread budget allows.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = current_num_threads().saturating_sub(1);
+    if let Some(_slot) = try_claim_helper_slot(budget) {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon shim: join closure panicked"))
+        })
+    } else {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction never
+/// actually fails in the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(hardware_threads) })
+    }
+}
+
+/// A "pool" that scopes [`current_num_threads`] for code run under
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        POOL_THREADS.with(|t| {
+            let prev = t.replace(Some(self.num_threads));
+            let out = op();
+            t.set(prev);
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 100 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 10_000), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_iter_chains_work() {
+        let v = vec![1u64, 2, 3, 4, 5];
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 30);
+        let odds: Vec<u64> = v.clone().into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odds, vec![1, 3, 5]);
+        let m = (0..10u64).into_par_iter().reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(m, 9);
+    }
+
+    #[test]
+    fn par_slice_ops_work() {
+        let mut v = vec![5u64, 3, 1, 4, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        let sums: Vec<u64> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7, 5]);
+        v.par_chunks_mut(2).for_each(|c| c.reverse());
+        assert_eq!(v, vec![2, 1, 4, 3, 5]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Vendored stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` names (trait + derive macro,
+//! like the real crate) so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Serialize, Deserialize}` compile. The derives are
+//! no-ops — nothing in the workspace serializes yet. Swapping in the
+//! real crate is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of serde's `Serialize` trait.
+pub trait Serialize {}
+
+/// Marker form of serde's `Deserialize` trait (lifetime elided — the
+/// shim never borrows from an input buffer).
+pub trait Deserialize {}

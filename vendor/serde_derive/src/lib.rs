@@ -1,0 +1,18 @@
+//! Vendored no-op `Serialize`/`Deserialize` derives.
+//!
+//! Nothing in the workspace serializes through serde yet — the derives
+//! only need to compile, so each expands to nothing. Swapping in the
+//! real `serde`/`serde_derive` from a registry restores full codegen
+//! with no source changes at the call sites.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
