@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmc_bench::workloads::graph_with_tree;
-use pmc_mincut::{naive_two_respecting, two_respecting_mincut, TwoRespectParams};
+use pmc_mincut::{naive_two_respecting, two_respecting_mincut, InterestStrategy, TwoRespectParams};
 use pmc_monge::RowMinimaAlgo;
 use pmc_parallel::Meter;
 use pmc_tree::{PathStrategy, RootedTree};
@@ -18,6 +18,13 @@ fn bench_ablation(c: &mut Criterion) {
 
     let variants: Vec<(&str, TwoRespectParams)> = vec![
         ("default", TwoRespectParams::default()),
+        (
+            "heavy_path_interest",
+            TwoRespectParams {
+                interest_strategy: InterestStrategy::HeavyPath,
+                ..TwoRespectParams::default()
+            },
+        ),
         (
             "bough",
             TwoRespectParams { strategy: PathStrategy::Bough, ..TwoRespectParams::default() },

@@ -1,13 +1,29 @@
-//! E-ablate — design ablations: decomposition strategy, Monge engine,
-//! ε, interest filter on/off.
-//! `cargo run -p pmc-bench --release --bin ablation [full]`
+//! E-ablate — design ablations: interest strategy (centroid vs
+//! heavy-path, metered side by side), decomposition strategy, Monge
+//! engine, ε, interest filter on/off.
+//! `cargo run -p pmc-bench --release --bin ablation [full|--smoke]`
+//!
+//! `--smoke` runs a reduced size for CI: every variant still has to
+//! agree with the all-pairs oracle (asserted inside the runner), so the
+//! strategy comparison cannot silently rot.
 
 use pmc_bench::experiments::run_ablation;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "full");
-    let n = if full { 2048 } else { 512 };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let full = args.iter().any(|a| a == "full");
+    let n = if smoke {
+        128
+    } else if full {
+        2048
+    } else {
+        512
+    };
     let t = run_ablation(n, 19);
     t.print("Ablations — one 2-respecting solve, all variants must agree on the value");
-    println!("\nReading guide: the naive row shows the work the interest filter removes;\nD&C Monge trades a log factor of entries for parallel span.");
+    println!("\nReading guide: the naive row shows the work the interest filter removes;\nthe centroid vs heavy-path rows meter Claim 4.13's O(log n) arm tracing against\nthe O(log² n) fallback ('interest qs'); D&C Monge trades a log factor of\nentries for parallel span.");
+    if smoke {
+        println!("\n--smoke: all variants agreed with the all-pairs oracle at n = {n}.");
+    }
 }

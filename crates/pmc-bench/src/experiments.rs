@@ -6,7 +6,8 @@ use pmc_graph::{stoer_wagner_mincut, Graph};
 use pmc_mincut::exact::exact_mincut_metered;
 use pmc_mincut::{
     approx_mincut, approx_mincut_eps, exact_mincut, greedy_tree_packing, naive_two_respecting,
-    two_respecting_mincut, ApproxParams, ExactParams, PackingParams, TwoRespectParams,
+    two_respecting_mincut, ApproxParams, ExactParams, InterestStrategy, PackingParams,
+    TwoRespectParams,
 };
 use pmc_monge::RowMinimaAlgo;
 use pmc_parallel::meter::{CostKind, Meter};
@@ -236,12 +237,22 @@ pub fn run_speedup(n: usize, threads: &[usize], seed: u64) -> Table {
     t
 }
 
-/// E-ablate — design ablations on one fixed workload: decomposition
-/// strategy, Monge engine, ε, and the no-filter baseline.
+/// E-ablate — design ablations on one fixed workload: interest-search
+/// decomposition strategy (centroid vs heavy-path, metered side by
+/// side), path decomposition, Monge engine, ε, and the no-filter
+/// baseline. The `interest qs` column isolates the cut/coverage
+/// queries the arm tracing issues — the quantity Claim 4.13 bounds.
 pub fn run_ablation(n: usize, seed: u64) -> Table {
     let (g, tree_edges) = workloads::graph_with_tree(n, 0.5, seed);
     let tree = RootedTree::from_edge_list(g.n(), &tree_edges, 0);
-    let mut t = Table::new(["variant", "cut queries", "monge entries", "total ops", "wall ms"]);
+    let mut t = Table::new([
+        "variant",
+        "cut queries",
+        "interest qs",
+        "monge entries",
+        "total ops",
+        "wall ms",
+    ]);
     let reference = naive_value(&g, &tree);
     let mut run = |name: &str, params: TwoRespectParams| {
         let meter = Meter::enabled();
@@ -253,18 +264,26 @@ pub fn run_ablation(n: usize, seed: u64) -> Table {
         t.row([
             name.to_string(),
             fmt_count(rep.work_of(CostKind::CutQuery)),
+            fmt_count(rep.work_of(CostKind::InterestQuery)),
             fmt_count(rep.work_of(CostKind::MongeEntry)),
             fmt_count(rep.total_work()),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
         ]);
     };
-    run("heavy-path + SMAWK (default)", TwoRespectParams::default());
+    run("centroid interest + SMAWK (default)", TwoRespectParams::default());
+    run(
+        "heavy-path interest + SMAWK",
+        TwoRespectParams {
+            interest_strategy: InterestStrategy::HeavyPath,
+            ..TwoRespectParams::default()
+        },
+    );
     run(
         "bough + SMAWK",
         TwoRespectParams { strategy: PathStrategy::Bough, ..TwoRespectParams::default() },
     );
     run(
-        "heavy-path + D&C monge",
+        "centroid + D&C monge",
         TwoRespectParams {
             monge_algo: RowMinimaAlgo::DivideConquer,
             ..TwoRespectParams::default()
@@ -283,6 +302,7 @@ pub fn run_ablation(n: usize, seed: u64) -> Table {
         t.row([
             "naive all-pairs (no filter)".to_string(),
             fmt_count(rep.work_of(CostKind::CutQuery)),
+            fmt_count(rep.work_of(CostKind::InterestQuery)),
             fmt_count(rep.work_of(CostKind::MongeEntry)),
             fmt_count(rep.total_work()),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
@@ -363,7 +383,7 @@ mod tests {
     #[test]
     fn ablation_runs_and_agrees() {
         let t = run_ablation(48, 5);
-        assert_eq!(t.len(), 6);
+        assert_eq!(t.len(), 7);
     }
 
     #[test]

@@ -234,6 +234,55 @@ pub fn heavy_cycle_with_chords(
     b.build()
 }
 
+/// The "fishbone" workload: a spine `v_0 → v_1 → … → v_levels` where
+/// every spine vertex also hangs a comb path *longer* than the
+/// remaining spine, so each spine edge is a light edge whose lower
+/// endpoint heads a fresh heavy chain. A heavy chord `(v_0, v_levels)`
+/// of weight `chord_w` covers the whole spine, making every spine
+/// edge's interesting path span all the others.
+///
+/// This is the adversarial input for heavy-path interest descent: an
+/// arm crosses `Θ(levels)` heavy chains and each crossing pays a
+/// binary search, i.e. `Θ(levels²)` cut queries per edge, while
+/// centroid descent stays `O(levels)` — the gap the complexity
+/// regression suite meters. `n = 3·2^levels − 2`.
+///
+/// Returns the graph, the parent array of the intended spanning tree
+/// (rooted at `v_0 = 0`), and the spine vertex ids.
+pub fn fishbone(levels: usize, chord_w: u64) -> (Graph, Vec<VertexId>, Vec<VertexId>) {
+    assert!(levels >= 1);
+    // Subtree sizes below each spine vertex, bottom-up:
+    // sz(levels) = 1 and sz(i) = 2·sz(i+1) + 2, so the comb at v_i
+    // (length sz(i+1) + 1) strictly outweighs the remaining spine.
+    let mut sz = vec![1u32; levels + 1];
+    for i in (0..levels).rev() {
+        sz[i] = 2 * sz[i + 1] + 2;
+    }
+    let n = sz[0] as usize;
+    let spine: Vec<VertexId> = (0..=levels as VertexId).collect();
+    let mut parent: Vec<VertexId> = vec![0; n];
+    for (i, p) in parent.iter_mut().enumerate().take(levels + 1).skip(1) {
+        *p = (i - 1) as VertexId;
+    }
+    let mut next = levels + 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..levels {
+        // Comb hanging off v_i: a path of sz(i+1) + 1 vertices.
+        let mut prev = i as VertexId;
+        for _ in 0..sz[i + 1] + 1 {
+            parent[next] = prev;
+            prev = next as VertexId;
+            next += 1;
+        }
+    }
+    assert_eq!(next, n);
+    for (v, &p) in parent.iter().enumerate().skip(1) {
+        b.add_edge(p, v as VertexId, 1);
+    }
+    b.add_edge(0, levels as VertexId, chord_w);
+    (b.build(), parent, spine)
+}
+
 /// Dense random graph in the `m = n^{1+alpha}` regime the paper calls
 /// non-sparse: `m = ceil(n^(1+alpha))` random edges over a random
 /// spanning tree.
@@ -247,6 +296,39 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn fishbone_structure() {
+        let levels = 6;
+        let (g, parent, spine) = fishbone(levels, 8);
+        let n = 3 * (1 << levels) - 2;
+        assert_eq!(g.n(), n);
+        assert_eq!(g.m(), n); // n-1 tree edges + the chord
+        assert_eq!(spine.len(), levels + 1);
+        // Subtree sizes from the parent array (children have larger
+        // ids, so one reverse sweep suffices).
+        let mut size = vec![1u32; n];
+        for v in (1..n).rev() {
+            let s = size[v];
+            size[parent[v] as usize] += s;
+        }
+        // Each comb outweighs the remaining spine: the spine edge is
+        // light at every step, which is what makes heavy-path descent
+        // cross a fresh chain per level.
+        for i in 0..levels {
+            let comb_head = g
+                .edges()
+                .iter()
+                .filter(|e| e.u == i as VertexId && e.v > levels as VertexId)
+                .map(|e| e.v)
+                .next()
+                .expect("comb head");
+            assert!(
+                size[comb_head as usize] > size[i + 1],
+                "comb at spine {i} must be the heavy child"
+            );
+        }
+    }
 
     #[test]
     fn gnm_multi_shape() {

@@ -15,6 +15,7 @@
 //! across seeds.
 
 use crate::approx::{approx_mincut, ApproxParams};
+use crate::interest::InterestStrategy;
 use crate::packing::{greedy_tree_packing, PackingParams};
 use crate::two_respect::{two_respecting_mincut, TwoRespectParams};
 use pmc_graph::{CutResult, Graph};
@@ -30,6 +31,12 @@ pub struct ExactParams {
     pub two_respect: TwoRespectParams,
     pub packing: PackingParams,
     pub approx: ApproxParams,
+    /// How the 2-respecting solver traces interest arms (Claim 4.13).
+    /// Mirrored into [`TwoRespectParams::interest_strategy`] for every
+    /// packed tree, overriding whatever `two_respect` carries, so the
+    /// pipeline-level knob is authoritative. Centroid descent is the
+    /// default; [`ExactParams::paper`] pins it explicitly.
+    pub interest_strategy: InterestStrategy,
     /// Skeleton oversampling constant (`c` in `p = c ln n / (ε² λ̃)`).
     pub skeleton_c: f64,
     /// Skeleton accuracy `ε` (paper: a small constant like 1/6).
@@ -46,6 +53,7 @@ impl Default for ExactParams {
             two_respect: TwoRespectParams::default(),
             packing: PackingParams::default(),
             approx: ApproxParams::default(),
+            interest_strategy: InterestStrategy::default(),
             skeleton_c: 12.0,
             skeleton_eps: 1.0 / 3.0,
             lambda_hint: None,
@@ -83,6 +91,9 @@ impl ExactParams {
     pub fn paper(seed: u64) -> Self {
         ExactParams {
             approx: ApproxParams::paper(seed),
+            // The paper's Claim 4.13 search; pinned here so the preset
+            // stays faithful even if the workspace default moves.
+            interest_strategy: InterestStrategy::Centroid,
             skeleton_c: 36.0,
             skeleton_eps: 1.0 / 6.0,
             seed,
@@ -148,12 +159,15 @@ pub fn exact_mincut_metered(g: &Graph, params: &ExactParams, meter: &Meter) -> E
     stats.num_trees = trees.len();
 
     // Phase 5: per-tree 2-respecting minimum cuts in the original graph,
-    // in parallel (the paper's outermost parallel loop).
+    // in parallel (the paper's outermost parallel loop). The pipeline's
+    // interest-strategy knob overrides the per-solver one.
+    let tr_params =
+        TwoRespectParams { interest_strategy: params.interest_strategy, ..params.two_respect };
     let from_trees = trees
         .par_iter()
         .map(|edges| {
             let tree = RootedTree::from_edge_list(gc.n(), edges, 0);
-            let out = two_respecting_mincut(&gc, &tree, &params.two_respect, meter);
+            let out = two_respecting_mincut(&gc, &tree, &tr_params, meter);
             out.cut
         })
         .reduce(CutResult::infinite, CutResult::min);

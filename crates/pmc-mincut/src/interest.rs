@@ -16,18 +16,30 @@
 //! an *up-arm* climbing from `e` that turns downward at most once
 //! (ending at `ce`) — the paper's `de` and `ce` nodes.
 //!
-//! The search is the heavy-path descent described in DESIGN.md (the
-//! provable substitute for the paper's centroid descent, one extra log
-//! factor): interest is monotone along any root-down chain, so the arm
-//! is traced by (1) binary searching its extent along the current heavy
-//! chain, and (2) locating the unique possible branching child by
-//! binary search over the children's contiguous postorder intervals
-//! (the cumulative coverage crosses `cov(e)/2` inside the interesting
-//! child, if any). Each arm costs `O(log^2 n)` cut queries.
+//! Both arms are traced by a pluggable [`DecompositionStrategy`]:
+//!
+//! * [`CentroidDescent`] (the default, the paper's Claim 4.13): walk
+//!   down the centroid tree maintaining the invariant that the current
+//!   centroid component contains the arm endpoint. Routing toward a
+//!   component is an `O(1)` structural lookup
+//!   ([`pmc_tree::CentroidDecomposition::child_toward`]); at most one
+//!   coverage query decides each level, so an arm costs `O(log n)` cut
+//!   queries on bounded-degree trees (`O(log n · log Δ)` in general,
+//!   from the child-locating binary searches at the `O(log n)`
+//!   centroids that land on the arm).
+//! * [`HeavyPathDescent`] (the retained fallback, DESIGN.md §2):
+//!   interest is monotone along any root-down chain, so the arm is
+//!   traced by (1) binary searching its extent along the current heavy
+//!   chain, and (2) locating the unique possible branching child by
+//!   binary search over the children's contiguous postorder intervals.
+//!   Each arm costs `O(log² n)` cut queries.
+//!
+//! The `tests/complexity_regression.rs` suite turns the asymptotic gap
+//! into an executable check with metered query counts.
 
 use crate::cutquery::CutQuery;
 use pmc_parallel::meter::{CostKind, Meter};
-use pmc_tree::LcaTable;
+use pmc_tree::{CentroidDecomposition, LcaTable};
 
 /// Endpoints of the interesting path of one edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,19 +52,66 @@ pub struct Arms {
     pub ce: u32,
 }
 
-/// Interest-path search over a fixed [`CutQuery`] structure.
-pub struct InterestSearch<'a> {
-    q: &'a CutQuery<'a>,
-    lca: &'a LcaTable,
+/// Which decomposition steers the interest search — the selector for
+/// the two [`DecompositionStrategy`] implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterestStrategy {
+    /// Heavy-path descent: `O(log² n)` cut queries per edge. The
+    /// provable fallback described in DESIGN.md §2.
+    HeavyPath,
+    /// Centroid descent (the paper's Claim 4.13): `O(log n)` cut
+    /// queries per edge on the workloads the theorem targets.
+    #[default]
+    Centroid,
+}
+
+impl InterestStrategy {
+    /// Stable display name (experiment tables, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            InterestStrategy::HeavyPath => "heavy-path",
+            InterestStrategy::Centroid => "centroid",
+        }
+    }
+}
+
+/// The pluggable arm-tracing engine of the interest search.
+///
+/// An implementation traces one arm of `Π(e)`: the maximal descending
+/// run of interesting edges starting below `start` (with at most one
+/// child branch of `start` masked by `exclude`). The two shipped
+/// implementations are [`HeavyPathDescent`] and [`CentroidDescent`];
+/// both rely only on the public query surface of [`InterestSearch`], so
+/// external experiments can plug in further strategies through
+/// [`InterestSearch::build_with`].
+pub trait DecompositionStrategy: Sync {
+    /// Deepest vertex of the arm of `e` descending from `start`
+    /// (`start` itself when the arm is empty). `exclude` masks one
+    /// child branch of `start` — the branch the up-arm arrived from.
+    fn descend(
+        &self,
+        search: &InterestSearch<'_>,
+        e: u32,
+        start: u32,
+        cov_e: u64,
+        exclude: Option<u32>,
+        meter: &Meter,
+    ) -> u32;
+
+    /// Stable display name (experiment tables, logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Heavy-path descent (DESIGN.md §2): `O(log² n)` cut queries per arm.
+pub struct HeavyPathDescent {
     /// Heavy chains: vertices listed top to bottom.
     chains: Vec<Vec<u32>>,
     chain_of: Vec<u32>,
     chain_pos: Vec<u32>,
 }
 
-impl<'a> InterestSearch<'a> {
-    pub fn build(q: &'a CutQuery<'a>, lca: &'a LcaTable, meter: &Meter) -> Self {
-        let tree = q.tree();
+impl HeavyPathDescent {
+    pub fn build(tree: &pmc_tree::RootedTree, meter: &Meter) -> Self {
         let n = tree.n();
         meter.add(CostKind::TreeOp, n as u64);
         let mut chain_of = vec![u32::MAX; n];
@@ -77,11 +136,198 @@ impl<'a> InterestSearch<'a> {
             }
             chains.push(chain);
         }
-        InterestSearch { q, lca, chains, chain_of, chain_pos }
+        HeavyPathDescent { chains, chain_of, chain_pos }
+    }
+}
+
+impl DecompositionStrategy for HeavyPathDescent {
+    /// Trace an arm downward from `start`: repeatedly (1) find the
+    /// unique interesting child branch (none -> stop), (2) binary
+    /// search the arm's extent along that child's heavy chain.
+    fn descend(
+        &self,
+        search: &InterestSearch<'_>,
+        e: u32,
+        start: u32,
+        cov_e: u64,
+        mut exclude: Option<u32>,
+        meter: &Meter,
+    ) -> u32 {
+        let mut v = start;
+        loop {
+            let Some(c) = search.interesting_child(e, v, cov_e, exclude, meter) else {
+                return v;
+            };
+            exclude = None;
+            // Binary search the deepest interesting edge on c's heavy
+            // chain (interest is monotone along the vertical chain).
+            let chain = &self.chains[self.chain_of[c as usize] as usize];
+            let k = self.chain_pos[c as usize] as usize;
+            let (mut lo, mut hi) = (k, chain.len() - 1);
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if search.interesting(e, chain[mid], meter) {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let x = chain[lo];
+            if x == v {
+                return v;
+            }
+            v = x;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        InterestStrategy::HeavyPath.name()
+    }
+}
+
+/// Centroid descent (Claim 4.13): `O(log n)` cut queries per arm on
+/// bounded-degree trees.
+///
+/// The arm endpoint `t` is the deepest vertex of a root-down chain of
+/// vertices `v` with `t ∈ subtree(v)`, and that membership is decidable
+/// with at most one coverage query (`interesting(e, v)` when `v` lies
+/// strictly below the deepest confirmed arm vertex; structurally
+/// otherwise). The descent walks the centroid tree keeping the
+/// invariant *"the current centroid's component contains `t`"*: each
+/// level either routes structurally (`child_toward`, zero queries),
+/// spends one query to discover the centroid is off the arm, or lands
+/// on the arm and re-anchors via the unique-interesting-child search.
+pub struct CentroidDescent {
+    cd: CentroidDecomposition,
+}
+
+impl CentroidDescent {
+    pub fn build(tree: &pmc_tree::RootedTree, meter: &Meter) -> Self {
+        CentroidDescent { cd: CentroidDecomposition::build(tree, meter) }
+    }
+
+    /// The underlying decomposition (tests, experiments).
+    pub fn decomposition(&self) -> &CentroidDecomposition {
+        &self.cd
+    }
+}
+
+impl DecompositionStrategy for CentroidDescent {
+    fn descend(
+        &self,
+        search: &InterestSearch<'_>,
+        e: u32,
+        start: u32,
+        cov_e: u64,
+        mut exclude: Option<u32>,
+        meter: &Meter,
+    ) -> u32 {
+        let tree = search.q.tree();
+        let cd = &self.cd;
+        // Deepest confirmed arm vertex; the endpoint lies in its subtree.
+        let mut a = start;
+        let mut c = cd.top();
+        loop {
+            if c == a {
+                // The centroid is the deepest confirmed arm vertex:
+                // extend the arm by its unique interesting child, or
+                // certify that the arm ends here.
+                match search.interesting_child(e, a, cov_e, exclude, meter) {
+                    None => return a,
+                    Some(u) => {
+                        exclude = None;
+                        a = u;
+                        c = cd.child_toward(c, u);
+                        continue;
+                    }
+                }
+            }
+            let route_to = if tree.is_ancestor(c, a) {
+                // Strictly above `a`: descend toward it (structural).
+                search.lca.ancestor_at_depth(a, tree.depth(c) + 1)
+            } else if tree.is_ancestor(a, c) {
+                // Strictly below `a`: on the excluded branch the
+                // endpoint cannot be; otherwise one query decides
+                // whether `c` is on the arm.
+                let masked = exclude.is_some_and(|x| tree.is_ancestor(x, c));
+                if !masked && search.interesting(e, c, meter) {
+                    // `c` is an arm vertex: re-anchor and resolve it as
+                    // the new deepest confirmed vertex next iteration.
+                    exclude = None;
+                    a = c;
+                    continue;
+                }
+                // Off the arm: the endpoint is outside subtree(c).
+                tree.parent(c)
+            } else {
+                // Incomparable with `a`: the endpoint lives in
+                // subtree(a), disjoint from subtree(c).
+                tree.parent(c)
+            };
+            c = cd.child_toward(c, route_to);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        InterestStrategy::Centroid.name()
+    }
+}
+
+enum Engine {
+    HeavyPath(HeavyPathDescent),
+    Centroid(CentroidDescent),
+    Custom(Box<dyn DecompositionStrategy + Send>),
+}
+
+/// Interest-path search over a fixed [`CutQuery`] structure.
+pub struct InterestSearch<'a> {
+    q: &'a CutQuery<'a>,
+    lca: &'a LcaTable,
+    engine: Engine,
+}
+
+impl<'a> InterestSearch<'a> {
+    /// Build the search with the given arm-tracing strategy.
+    pub fn build(
+        q: &'a CutQuery<'a>,
+        lca: &'a LcaTable,
+        strategy: InterestStrategy,
+        meter: &Meter,
+    ) -> Self {
+        let engine = match strategy {
+            InterestStrategy::HeavyPath => {
+                Engine::HeavyPath(HeavyPathDescent::build(q.tree(), meter))
+            }
+            InterestStrategy::Centroid => {
+                Engine::Centroid(CentroidDescent::build(q.tree(), meter))
+            }
+        };
+        InterestSearch { q, lca, engine }
+    }
+
+    /// Build the search around a caller-supplied arm-tracing engine —
+    /// the extension point for experimenting with further descent
+    /// schemes beyond the two shipped ones.
+    pub fn build_with(
+        q: &'a CutQuery<'a>,
+        lca: &'a LcaTable,
+        engine: Box<dyn DecompositionStrategy + Send>,
+    ) -> Self {
+        InterestSearch { q, lca, engine: Engine::Custom(engine) }
+    }
+
+    /// The active arm-tracing engine.
+    pub fn strategy(&self) -> &dyn DecompositionStrategy {
+        match &self.engine {
+            Engine::HeavyPath(h) => h,
+            Engine::Centroid(c) => c,
+            Engine::Custom(b) => b.as_ref(),
+        }
     }
 
     /// Is `f` interesting for `e` (`2 cov(e,f) > cov(e)`)?
     pub fn interesting(&self, e: u32, f: u32, meter: &Meter) -> bool {
+        meter.bump(CostKind::InterestQuery);
         2 * self.q.cov2(e, f, meter) > self.q.cov(e)
     }
 
@@ -93,8 +339,9 @@ impl<'a> InterestSearch<'a> {
         if cov_e == 0 {
             return Arms { de: e, ce: e };
         }
+        let strategy = self.strategy();
         // Down-arm: descend inside subtree(e).
-        let de = self.descend(e, e, cov_e, None, meter);
+        let de = strategy.descend(self, e, e, cov_e, None, meter);
 
         // Up-arm: highest interesting ancestor edge by binary search on
         // depth (interest decreases going up).
@@ -127,54 +374,16 @@ impl<'a> InterestSearch<'a> {
             Some(x_star) => (tree.parent(x_star), x_star),
             None => (tree.parent(e), e),
         };
-        let over = self.descend(e, turn_node, cov_e, Some(exclude), meter);
+        let over = strategy.descend(self, e, turn_node, cov_e, Some(exclude), meter);
         let ce = if over == turn_node { e } else { over };
         Arms { de, ce }
-    }
-
-    /// Trace an arm downward from `v`: repeatedly (1) find the unique
-    /// interesting child branch (none -> stop), (2) binary search the
-    /// arm's extent along that child's heavy chain.
-    fn descend(
-        &self,
-        e: u32,
-        start: u32,
-        cov_e: u64,
-        mut exclude: Option<u32>,
-        meter: &Meter,
-    ) -> u32 {
-        let mut v = start;
-        loop {
-            let Some(c) = self.find_interesting_child(e, v, cov_e, exclude, meter) else {
-                return v;
-            };
-            exclude = None;
-            // Binary search the deepest interesting edge on c's heavy
-            // chain (interest is monotone along the vertical chain).
-            let chain = &self.chains[self.chain_of[c as usize] as usize];
-            let k = self.chain_pos[c as usize] as usize;
-            let (mut lo, mut hi) = (k, chain.len() - 1);
-            while lo < hi {
-                let mid = (lo + hi).div_ceil(2);
-                if self.interesting(e, chain[mid], meter) {
-                    lo = mid;
-                } else {
-                    hi = mid - 1;
-                }
-            }
-            let x = chain[lo];
-            if x == v {
-                return v;
-            }
-            v = x;
-        }
     }
 
     /// The unique child `c` of `v` (excluding `exclude`) whose edge is
     /// interesting for `e`, if any: binary search for the child interval
     /// where the cumulative coverage mass crosses `cov(e)/2`, then
-    /// verify.
-    fn find_interesting_child(
+    /// verify. `O(log deg(v))` coverage queries.
+    pub fn interesting_child(
         &self,
         e: u32,
         v: u32,
@@ -195,6 +404,7 @@ impl<'a> InterestSearch<'a> {
         let max_coord = (tree.n() as u32) - 1;
         let mass = |y1: u32, y2: u32| -> u64 {
             meter.bump(CostKind::CutQuery);
+            meter.bump(CostKind::InterestQuery);
             if nested_mode {
                 // Children lie below e: covering edges run from the
                 // child's subtree to outside subtree(e); count from the
@@ -221,6 +431,14 @@ impl<'a> InterestSearch<'a> {
         };
         for &(s0, s1) in &segments {
             if s0 >= s1 {
+                continue;
+            }
+            if s1 - s0 == 1 {
+                // Single candidate: one mass probe decides.
+                let c = children[s0];
+                if 2 * mass(tree.start(c), tree.post(c)) > cov_e {
+                    return Some(c);
+                }
                 continue;
             }
             let seg_lo = tree.start(children[s0]);
@@ -266,6 +484,9 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    const BOTH: [InterestStrategy; 2] =
+        [InterestStrategy::HeavyPath, InterestStrategy::Centroid];
+
     struct Fixture {
         g: Graph,
         tree: RootedTree,
@@ -299,7 +520,8 @@ mod tests {
             let f = fixture(24, 50, 200 + seed);
             let lca = LcaTable::build(&f.tree);
             let q = CutQuery::build(&f.g, &f.tree, &lca, 0.5, &Meter::disabled());
-            let is = InterestSearch::build(&q, &lca, &Meter::disabled());
+            let is =
+                InterestSearch::build(&q, &lca, InterestStrategy::default(), &Meter::disabled());
             let m = Meter::disabled();
             for e in 1..24u32 {
                 let set = is.brute_interesting_set(e, &m);
@@ -329,11 +551,6 @@ mod tests {
                         }
                         cur = nxt;
                     }
-                    if l != e && l != fe && l != f.tree.root() {
-                        // The LCA edge itself lies on the path as well
-                        // unless it is e or the root.
-                        // (covered by the walks above when distinct)
-                    }
                 }
             }
         }
@@ -342,26 +559,50 @@ mod tests {
     #[test]
     fn arms_cover_interesting_set() {
         // The guarantee the tuple generation needs: every interesting f
-        // lies on root->de or root->ce.
+        // lies on root->de or root->ce — under both strategies.
         for seed in 0..8 {
             let f = fixture(30, 70, 300 + seed);
             let lca = LcaTable::build(&f.tree);
             let q = CutQuery::build(&f.g, &f.tree, &lca, 0.4, &Meter::disabled());
-            let is = InterestSearch::build(&q, &lca, &Meter::disabled());
             let m = Meter::disabled();
-            for e in 1..30u32 {
-                let arms = is.arms(e, &m);
-                let set = is.brute_interesting_set(e, &m);
-                let cover: std::collections::HashSet<u32> = root_chain(&f.tree, arms.de)
-                    .into_iter()
-                    .chain(root_chain(&f.tree, arms.ce))
-                    .collect();
-                for &fe in &set {
-                    assert!(
-                        cover.contains(&fe),
-                        "seed {seed} e={e}: interesting edge {fe} not covered by arms {arms:?}"
-                    );
+            for strategy in BOTH {
+                let is = InterestSearch::build(&q, &lca, strategy, &m);
+                for e in 1..30u32 {
+                    let arms = is.arms(e, &m);
+                    let set = is.brute_interesting_set(e, &m);
+                    let cover: std::collections::HashSet<u32> = root_chain(&f.tree, arms.de)
+                        .into_iter()
+                        .chain(root_chain(&f.tree, arms.ce))
+                        .collect();
+                    for &fe in &set {
+                        assert!(
+                            cover.contains(&fe),
+                            "seed {seed} {strategy:?} e={e}: interesting edge {fe} not \
+                             covered by arms {arms:?}"
+                        );
+                    }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_exactly() {
+        // The arm endpoints are uniquely determined (deepest vertex of
+        // each arm), so the two descents must return identical `Arms`.
+        for seed in 0..10 {
+            let f = fixture(28, 64, 500 + seed);
+            let lca = LcaTable::build(&f.tree);
+            let q = CutQuery::build(&f.g, &f.tree, &lca, 0.5, &Meter::disabled());
+            let m = Meter::disabled();
+            let heavy = InterestSearch::build(&q, &lca, InterestStrategy::HeavyPath, &m);
+            let centroid = InterestSearch::build(&q, &lca, InterestStrategy::Centroid, &m);
+            for e in 1..28u32 {
+                assert_eq!(
+                    heavy.arms(e, &m),
+                    centroid.arms(e, &m),
+                    "seed {seed} e={e}: strategies disagree"
+                );
             }
         }
     }
@@ -381,17 +622,19 @@ mod tests {
             let tree = RootedTree::from_edge_list(g.n(), &edges, 0);
             let lca = LcaTable::build(&tree);
             let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
-            let is = InterestSearch::build(&q, &lca, &Meter::disabled());
             let m = Meter::disabled();
-            for e in (0..g.n() as u32).filter(|&v| v != tree.root()) {
-                let arms = is.arms(e, &m);
-                let set = is.brute_interesting_set(e, &m);
-                let cover: std::collections::HashSet<u32> = root_chain(&tree, arms.de)
-                    .into_iter()
-                    .chain(root_chain(&tree, arms.ce))
-                    .collect();
-                for &fe in &set {
-                    assert!(cover.contains(&fe), "graph {gi} e={e}: {fe} uncovered");
+            for strategy in BOTH {
+                let is = InterestSearch::build(&q, &lca, strategy, &m);
+                for e in (0..g.n() as u32).filter(|&v| v != tree.root()) {
+                    let arms = is.arms(e, &m);
+                    let set = is.brute_interesting_set(e, &m);
+                    let cover: std::collections::HashSet<u32> = root_chain(&tree, arms.de)
+                        .into_iter()
+                        .chain(root_chain(&tree, arms.ce))
+                        .collect();
+                    for &fe in &set {
+                        assert!(cover.contains(&fe), "graph {gi} {strategy:?} e={e}: {fe}");
+                    }
                 }
             }
         }
@@ -407,25 +650,21 @@ mod tests {
         let tree = RootedTree::from_parents(0, &parent);
         let lca = LcaTable::build(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
-        let is = InterestSearch::build(&q, &lca, &Meter::disabled());
         let m = Meter::disabled();
-        for e in 1..12u32 {
-            assert!(is.brute_interesting_set(e, &m).is_empty());
-            let arms = is.arms(e, &m);
-            assert_eq!(arms, Arms { de: e, ce: e });
+        for strategy in BOTH {
+            let is = InterestSearch::build(&q, &lca, strategy, &m);
+            for e in 1..12u32 {
+                assert!(is.brute_interesting_set(e, &m).is_empty());
+                let arms = is.arms(e, &m);
+                assert_eq!(arms, Arms { de: e, ce: e }, "{strategy:?}");
+            }
         }
     }
 
     #[test]
     fn cycle_arms_reach_everywhere() {
-        // Cycle graph with a path tree: the single non-tree edge covers
-        // every tree edge, so for each e all other edges are interesting
-        // (2*cov2 = 2w > w = cov when all weights equal... cov(e) = 2w
-        // since two graph edges cross each tree edge: the tree edge
-        // itself and the chord; cov2(e,f) = w (the chord covers both).
-        // 2*w > 2*w is false! So actually *nothing* is interesting in an
-        // unweighted cycle: the pair cut (2w) never beats the
-        // 1-respecting cut (2w). With a heavier chord interest appears.
+        // Cycle graph with a path tree: the heavy chord covers every
+        // tree edge, so for each e all other edges are interesting.
         let mut edges: Vec<(u32, u32, u64)> =
             (0..9u32).map(|i| (i, i + 1, 1)).collect();
         edges.push((0, 9, 5)); // heavy chord
@@ -434,22 +673,24 @@ mod tests {
         let tree = RootedTree::from_parents(0, &parent);
         let lca = LcaTable::build(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
-        let is = InterestSearch::build(&q, &lca, &Meter::disabled());
         let m = Meter::disabled();
         // Every tree edge is covered by the chord (weight 5) and itself
         // (weight 1): cov = 6, cov2 = 5 between any two tree edges.
-        for e in 1..10u32 {
-            assert_eq!(q.cov(e), 6);
-            let set = is.brute_interesting_set(e, &m);
-            assert_eq!(set.len(), 8, "e={e}: all other edges interesting");
-            let arms = is.arms(e, &m);
-            // Down-arm reaches the deepest vertex, up-arm covers the rest.
-            let cover: std::collections::HashSet<u32> = root_chain(&tree, arms.de)
-                .into_iter()
-                .chain(root_chain(&tree, arms.ce))
-                .collect();
-            for &fe in &set {
-                assert!(cover.contains(&fe));
+        for strategy in BOTH {
+            let is = InterestSearch::build(&q, &lca, strategy, &m);
+            for e in 1..10u32 {
+                assert_eq!(q.cov(e), 6);
+                let set = is.brute_interesting_set(e, &m);
+                assert_eq!(set.len(), 8, "{strategy:?} e={e}: all other edges interesting");
+                let arms = is.arms(e, &m);
+                // Down-arm reaches the deepest vertex, up-arm the rest.
+                let cover: std::collections::HashSet<u32> = root_chain(&tree, arms.de)
+                    .into_iter()
+                    .chain(root_chain(&tree, arms.ce))
+                    .collect();
+                for &fe in &set {
+                    assert!(cover.contains(&fe));
+                }
             }
         }
     }
@@ -460,11 +701,6 @@ mod tests {
         // tree is drawn with solid edges. We reproduce the relations the
         // caption states: e cross-interested in f, f in e, and e'
         // down-interested in f.
-        //
-        // Construction (one consistent reading of the figure): root r
-        // with two children a (leading to e's branch) and b (leading to
-        // f's branch); e' above f on the f-branch; dashed non-tree edges
-        // concentrate weight between subtree(e) and subtree(f).
         //
         //            r(0)
         //           /    \
@@ -488,7 +724,7 @@ mod tests {
         let tree = RootedTree::from_parents(0, &[0, 0, 0, 1, 2, 4]);
         let lca = LcaTable::build(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
-        let is = InterestSearch::build(&q, &lca, &Meter::disabled());
+        let is = InterestSearch::build(&q, &lca, InterestStrategy::default(), &Meter::disabled());
         let m = Meter::disabled();
         let (e, f, e_prime) = (3u32, 5u32, 4u32);
         // e is cross-interested in f and vice versa.
@@ -496,5 +732,73 @@ mod tests {
         assert!(is.interesting(f, e, &m));
         // e' is down-interested in f.
         assert!(is.interesting(e_prime, f, &m));
+    }
+
+    #[test]
+    fn custom_strategy_plugs_in() {
+        // The build_with extension point: a naive linear-scan descent
+        // must slot in behind the trait and agree with the defaults.
+        struct LinearScan;
+        impl DecompositionStrategy for LinearScan {
+            fn descend(
+                &self,
+                search: &InterestSearch<'_>,
+                e: u32,
+                start: u32,
+                cov_e: u64,
+                mut exclude: Option<u32>,
+                meter: &Meter,
+            ) -> u32 {
+                let mut v = start;
+                loop {
+                    let Some(c) = search.interesting_child(e, v, cov_e, exclude, meter)
+                    else {
+                        return v;
+                    };
+                    exclude = None;
+                    v = c;
+                }
+            }
+            fn name(&self) -> &'static str {
+                "linear-scan"
+            }
+        }
+        let f = fixture(26, 60, 900);
+        let lca = LcaTable::build(&f.tree);
+        let q = CutQuery::build(&f.g, &f.tree, &lca, 0.5, &Meter::disabled());
+        let m = Meter::disabled();
+        let custom = InterestSearch::build_with(&q, &lca, Box::new(LinearScan));
+        let default = InterestSearch::build(&q, &lca, InterestStrategy::default(), &m);
+        assert_eq!(custom.strategy().name(), "linear-scan");
+        for e in 1..26u32 {
+            assert_eq!(custom.arms(e, &m), default.arms(e, &m), "e={e}");
+        }
+    }
+
+    #[test]
+    fn centroid_descent_issues_fewer_queries_on_long_arms() {
+        // On the fishbone workload every spine arm crosses a fresh
+        // heavy chain per level, so heavy-path descent pays a binary
+        // search per level (Θ(log² n) per edge) while centroid descent
+        // re-anchors in O(1) queries per centroid level.
+        let levels = 9; // n = 3·2⁹ − 2 = 1534
+        let (g, parent, spine) = generators::fishbone(levels, 8);
+        let tree = RootedTree::from_parents(0, &parent);
+        let lca = LcaTable::build(&tree);
+        let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
+        let count = |strategy: InterestStrategy| -> u64 {
+            let is = InterestSearch::build(&q, &lca, strategy, &Meter::disabled());
+            let meter = Meter::enabled();
+            for &e in &spine[1..] {
+                is.arms(e, &meter);
+            }
+            meter.get(CostKind::CutQuery)
+        };
+        let heavy = count(InterestStrategy::HeavyPath);
+        let centroid = count(InterestStrategy::Centroid);
+        assert!(
+            centroid < heavy,
+            "centroid {centroid} queries should undercut heavy-path {heavy}"
+        );
     }
 }

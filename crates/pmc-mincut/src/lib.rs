@@ -9,7 +9,9 @@
 //!   `cut(e,f) = cov(e) + cov(f) - 2 cov(e,f)` (see DESIGN.md).
 //! * [`interest`]: the cross-/down-interest search of Definition 4.7 /
 //!   Claims 4.8, 4.13 — per tree edge, the endpoints `ce`/`de` of the
-//!   path of edges it is interested in.
+//!   path of edges it is interested in, traced by a pluggable
+//!   [`interest::DecompositionStrategy`] (centroid descent by default,
+//!   heavy-path descent as the fallback).
 //! * [`two_respect`]: the minimum 2-respecting cut of a spanning tree
 //!   (Theorem 4.2): path decomposition, partial-Monge single-path
 //!   search, interest tuples, and Monge pair search.
@@ -43,6 +45,9 @@ pub mod two_respect;
 pub use approx::{approx_mincut, approx_mincut_eps, ApproxParams, ApproxResult};
 pub use cutquery::CutQuery;
 pub use exact::{exact_mincut, exact_mincut_metered, mincut_small, ExactParams, ExactResult};
-pub use interest::InterestSearch;
+pub use interest::{
+    Arms, CentroidDescent, DecompositionStrategy, HeavyPathDescent, InterestSearch,
+    InterestStrategy,
+};
 pub use packing::{greedy_tree_packing, PackingParams};
 pub use two_respect::{naive_two_respecting, two_respecting_mincut, TwoRespectParams};

@@ -22,7 +22,7 @@
 //! All three stages run in parallel across paths/pairs through rayon.
 
 use crate::cutquery::CutQuery;
-use crate::interest::InterestSearch;
+use crate::interest::{InterestSearch, InterestStrategy};
 use pmc_graph::{CutResult, Graph};
 use pmc_monge::{monge_minimum_with, triangle_minimum_with, Orient, RowMinimaAlgo};
 use pmc_parallel::meter::Meter;
@@ -42,6 +42,14 @@ pub struct TwoRespectParams {
     /// Row-minima engine: SMAWK (work-optimal, the [RV94] substitute)
     /// or divide-and-conquer (log-factor work, polylog span, [AKPS90]).
     pub monge_algo: RowMinimaAlgo,
+    /// Which decomposition traces the interest arms (Claim 4.13):
+    /// centroid descent (`O(log n)` cut queries per edge, the default)
+    /// or the heavy-path fallback (`O(log² n)`, DESIGN.md §2).
+    ///
+    /// Heeded by direct [`two_respecting_mincut`] callers; inside the
+    /// exact pipeline, `ExactParams::interest_strategy` is authoritative
+    /// and overwrites this field — set the knob there instead.
+    pub interest_strategy: InterestStrategy,
 }
 
 impl Default for TwoRespectParams {
@@ -50,6 +58,7 @@ impl Default for TwoRespectParams {
             eps: 0.25,
             strategy: PathStrategy::HeavyPath,
             monge_algo: RowMinimaAlgo::Smawk,
+            interest_strategy: InterestStrategy::default(),
         }
     }
 }
@@ -142,7 +151,8 @@ pub fn two_respecting_mincut(
         .reduce(|| Best::NONE, Best::min);
 
     // Stage 3: cross-path pairs via interest arms.
-    let cross = cross_path_minimum(&q, &lca, &decomp, params.monge_algo, meter);
+    let cross =
+        cross_path_minimum(&q, &lca, &decomp, params.monge_algo, params.interest_strategy, meter);
 
     let best = one.min(single).min(cross);
     debug_assert_ne!(best.value, u64::MAX);
@@ -160,6 +170,7 @@ fn cross_path_minimum(
     lca: &LcaTable,
     decomp: &PathDecomposition,
     algo: RowMinimaAlgo,
+    interest_strategy: InterestStrategy,
     meter: &Meter,
 ) -> Best {
     let tree = q.tree();
@@ -167,7 +178,7 @@ fn cross_path_minimum(
     if decomp.num_paths() < 2 {
         return Best::NONE;
     }
-    let search = InterestSearch::build(q, lca, meter);
+    let search = InterestSearch::build(q, lca, interest_strategy, meter);
 
     // Interest tuples (Claim 4.15): for each edge e, the decomposition
     // paths on the root-paths of its arm endpoints.
@@ -316,13 +327,22 @@ mod tests {
             let m = Meter::disabled();
             let naive = naive_two_respecting(&g, &t, 0.5, &m);
             for strategy in [PathStrategy::HeavyPath, PathStrategy::Bough] {
-                let params = TwoRespectParams { eps: 0.4, strategy, ..TwoRespectParams::default() };
-                let fast = two_respecting_mincut(&g, &t, &params, &m);
-                assert_eq!(
-                    fast.cut.value, naive.cut.value,
-                    "trial {trial} {strategy:?}: fast {} vs naive {}",
-                    fast.cut.value, naive.cut.value
-                );
+                for interest_strategy in
+                    [InterestStrategy::HeavyPath, InterestStrategy::Centroid]
+                {
+                    let params = TwoRespectParams {
+                        eps: 0.4,
+                        strategy,
+                        interest_strategy,
+                        ..TwoRespectParams::default()
+                    };
+                    let fast = two_respecting_mincut(&g, &t, &params, &m);
+                    assert_eq!(
+                        fast.cut.value, naive.cut.value,
+                        "trial {trial} {strategy:?}/{interest_strategy:?}: fast {} vs naive {}",
+                        fast.cut.value, naive.cut.value
+                    );
+                }
             }
         }
     }

@@ -37,12 +37,17 @@ pub enum CostKind {
     Sample,
     /// One tree-structure operation (Euler tour, LCA, decomposition).
     TreeOp,
+    /// One cut/coverage query issued by the interest search while
+    /// tracing arms (Claims 4.8/4.13) — counted *in addition to* the
+    /// [`CostKind::CutQuery`] the evaluation itself records, so the
+    /// ablation harness can attribute query volume to the arm tracing.
+    InterestQuery,
     /// Anything else (bookkeeping, scans, sorts).
     Misc,
 }
 
 impl CostKind {
-    pub const ALL: [CostKind; 8] = [
+    pub const ALL: [CostKind; 9] = [
         CostKind::CutQuery,
         CostKind::RangeNode,
         CostKind::MongeEntry,
@@ -50,6 +55,7 @@ impl CostKind {
         CostKind::MstEdge,
         CostKind::Sample,
         CostKind::TreeOp,
+        CostKind::InterestQuery,
         CostKind::Misc,
     ];
 
@@ -62,7 +68,8 @@ impl CostKind {
             CostKind::MstEdge => 4,
             CostKind::Sample => 5,
             CostKind::TreeOp => 6,
-            CostKind::Misc => 7,
+            CostKind::InterestQuery => 7,
+            CostKind::Misc => 8,
         }
     }
 
@@ -75,6 +82,7 @@ impl CostKind {
             CostKind::MstEdge => "mst_edge",
             CostKind::Sample => "sample",
             CostKind::TreeOp => "tree_op",
+            CostKind::InterestQuery => "interest_query",
             CostKind::Misc => "misc",
         }
     }
@@ -86,7 +94,7 @@ impl CostKind {
 #[derive(Debug)]
 pub struct Meter {
     enabled: bool,
-    counters: [AtomicU64; 8],
+    counters: [AtomicU64; 9],
     /// phase name -> critical-path units recorded for that phase.
     depths: Mutex<BTreeMap<&'static str, u64>>,
 }
@@ -188,9 +196,15 @@ pub struct CostReport {
 }
 
 impl CostReport {
-    /// Total work across all kinds.
+    /// Total work across all kinds. [`CostKind::InterestQuery`] is an
+    /// *attribution* gauge layered over the cut queries it re-counts,
+    /// so it is excluded here to avoid double counting.
     pub fn total_work(&self) -> u64 {
-        self.work.values().sum()
+        self.work
+            .iter()
+            .filter(|&(&k, _)| k != CostKind::InterestQuery)
+            .map(|(_, v)| v)
+            .sum()
     }
 
     /// Work of one kind (0 if never recorded).

@@ -2,28 +2,61 @@
 //!
 //! The decomposition tree has depth `O(log n)`: removing a centroid
 //! leaves components of at most half the size. The paper uses it to
-//! steer the search for interested edges (Claim 4.13); this workspace's
-//! default interest search uses heavy paths instead (see DESIGN.md), but
-//! the decomposition is provided, tested and benchmarked as part of the
-//! Lemma 4.12 reproduction.
+//! steer the search for interested edges (Claim 4.13), which is what
+//! the default `Centroid` interest strategy in `pmc-mincut::interest`
+//! does; the component-aware queries below ([`children`],
+//! [`component_contains`], [`child_toward`], [`post_range`]) are the
+//! navigation primitives that descent needs.
+//!
+//! [`children`]: CentroidDecomposition::children
+//! [`component_contains`]: CentroidDecomposition::component_contains
+//! [`child_toward`]: CentroidDecomposition::child_toward
+//! [`post_range`]: CentroidDecomposition::post_range
 
 use crate::rooted::RootedTree;
 use pmc_parallel::meter::{CostKind, Meter};
 
 /// Centroid decomposition of a rooted tree.
+///
+/// Each centroid-tree node `c` owns a *component*: the connected piece
+/// of the tree `c` was the centroid of. The component of the top
+/// centroid is the whole tree; the components of `c`'s centroid-tree
+/// children partition `component(c) \ {c}`.
 #[derive(Debug, Clone)]
 pub struct CentroidDecomposition {
     /// Parent in the centroid tree; `u32::MAX` for the top centroid.
     parent_c: Vec<u32>,
     /// Depth in the centroid tree (top centroid = 0).
     depth_c: Vec<u32>,
+    /// Per-vertex centroid ancestors, top-down: `anc[v][d]` is `v`'s
+    /// centroid ancestor at centroid depth `d` (so `anc[v]` has length
+    /// `depth_c[v] + 1` and ends with `v` itself). Total size
+    /// `O(n log n)` by Lemma 4.12.
+    anc: Vec<Vec<u32>>,
+    /// Number of vertices in each centroid's component.
+    comp_size: Vec<u32>,
+    /// Min/max postorder index over each centroid's component.
+    post_lo: Vec<u32>,
+    /// See `post_lo`.
+    post_hi: Vec<u32>,
+    /// Centroid-tree children, CSR layout.
+    child_offsets: Vec<u32>,
+    child_list: Vec<u32>,
     top: u32,
+}
+
+/// The `O(n log n)` work charged for building the decomposition:
+/// every vertex is touched once per centroid level it survives, and
+/// Lemma 4.12 bounds the levels by `⌊log₂ n⌋ + 1`.
+pub fn build_charge(n: usize) -> u64 {
+    let n = n.max(1) as u64;
+    n * (n.ilog2() as u64 + 1)
 }
 
 impl CentroidDecomposition {
     pub fn build(tree: &RootedTree, meter: &Meter) -> Self {
         let n = tree.n();
-        meter.add(CostKind::TreeOp, (n.max(1) as u64) * (usize::BITS as u64 - n.max(1).leading_zeros() as u64));
+        meter.add(CostKind::TreeOp, build_charge(n));
         // Undirected adjacency from the rooted structure.
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for v in 0..n as u32 {
@@ -35,6 +68,10 @@ impl CentroidDecomposition {
         }
         let mut parent_c = vec![u32::MAX; n];
         let mut depth_c = vec![u32::MAX; n];
+        let mut anc: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut comp_size = vec![0u32; n];
+        let mut post_lo = vec![u32::MAX; n];
+        let mut post_hi = vec![0u32; n];
         let mut removed = vec![false; n];
         let mut size = vec![0u32; n];
         let mut top = 0u32;
@@ -62,7 +99,7 @@ impl CentroidDecomposition {
                 }
             }
             // Subtree sizes by reverse-preorder accumulation.
-            let comp_size = order.len() as u32;
+            let comp_size_count = order.len() as u32;
             for &v in &order {
                 size[v as usize] = 1;
             }
@@ -79,7 +116,7 @@ impl CentroidDecomposition {
                     if removed[u as usize] || dfs_parent[u as usize] != c {
                         continue;
                     }
-                    if size[u as usize] * 2 > comp_size {
+                    if size[u as usize] * 2 > comp_size_count {
                         c = u;
                         continue 'outer;
                     }
@@ -87,12 +124,24 @@ impl CentroidDecomposition {
                 break;
             }
             // The part above c must also be at most half.
-            debug_assert!((comp_size - size[c as usize]) * 2 <= comp_size);
+            debug_assert!((comp_size_count - size[c as usize]) * 2 <= comp_size_count);
 
             parent_c[c as usize] = cpar;
             depth_c[c as usize] = cdepth;
+            comp_size[c as usize] = comp_size_count;
             if cpar == u32::MAX {
                 top = c;
+            }
+            // Every vertex of this component has `c` as its centroid
+            // ancestor at depth `cdepth`; the depths a vertex sees are
+            // strictly increasing, so pushing keeps `anc[v]` indexed by
+            // centroid depth.
+            for &v in &order {
+                debug_assert_eq!(anc[v as usize].len(), cdepth as usize);
+                anc[v as usize].push(c);
+                let p = tree.post(v);
+                post_lo[c as usize] = post_lo[c as usize].min(p);
+                post_hi[c as usize] = post_hi[c as usize].max(p);
             }
             removed[c as usize] = true;
             for &u in &adj[c as usize] {
@@ -101,7 +150,37 @@ impl CentroidDecomposition {
                 }
             }
         }
-        CentroidDecomposition { parent_c, depth_c, top }
+        // Centroid-tree children in CSR layout.
+        let mut counts = vec![0u32; n + 1];
+        for &p in &parent_c {
+            if p != u32::MAX {
+                counts[p as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let child_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut child_list = vec![0u32; n.saturating_sub(1)];
+        for v in 0..n as u32 {
+            let p = parent_c[v as usize];
+            if p != u32::MAX {
+                child_list[cursor[p as usize] as usize] = v;
+                cursor[p as usize] += 1;
+            }
+        }
+        CentroidDecomposition {
+            parent_c,
+            depth_c,
+            anc,
+            comp_size,
+            post_lo,
+            post_hi,
+            child_offsets,
+            child_list,
+            top,
+        }
     }
 
     /// The root of the centroid tree.
@@ -150,6 +229,48 @@ impl CentroidDecomposition {
             out.push(cur);
         }
         out
+    }
+
+    /// Centroid-tree children of `c` — the centroids of the components
+    /// that `component(c) \ {c}` falls apart into.
+    #[inline]
+    pub fn children(&self, c: u32) -> &[u32] {
+        let lo = self.child_offsets[c as usize] as usize;
+        let hi = self.child_offsets[c as usize + 1] as usize;
+        &self.child_list[lo..hi]
+    }
+
+    /// Number of vertices in `c`'s component (the whole tree for the
+    /// top centroid; halves at least once per level by Lemma 4.12).
+    #[inline]
+    pub fn component_size(&self, c: u32) -> u32 {
+        self.comp_size[c as usize]
+    }
+
+    /// Does `c`'s component contain `v`? `O(1)`: the component of `c`
+    /// is exactly the set of vertices whose centroid ancestor at
+    /// `depth(c)` is `c` (including `c` itself).
+    #[inline]
+    pub fn component_contains(&self, c: u32, v: u32) -> bool {
+        self.anc[v as usize].get(self.depth_c[c as usize] as usize) == Some(&c)
+    }
+
+    /// The centroid child of `c` whose component contains `v`, in
+    /// `O(1)`: it is `v`'s centroid ancestor one level below `c`.
+    /// Requires `v` to lie in `c`'s component and differ from `c` — the
+    /// boundary-routing lookup of the interest descent (Claim 4.13).
+    #[inline]
+    pub fn child_toward(&self, c: u32, v: u32) -> u32 {
+        debug_assert!(self.component_contains(c, v) && v != c, "v must be in component(c) \\ {{c}}");
+        self.anc[v as usize][self.depth_c[c as usize] as usize + 1]
+    }
+
+    /// The `[min, max]` postorder-index range of `c`'s component — a
+    /// necessary (not sufficient) membership interval: components are
+    /// connected subtrees but not postorder-contiguous in general.
+    #[inline]
+    pub fn post_range(&self, c: u32) -> (u32, u32) {
+        (self.post_lo[c as usize], self.post_hi[c as usize])
     }
 }
 
@@ -264,5 +385,78 @@ mod tests {
         assert!(cd.max_depth() <= 1);
         assert!(cd.is_centroid_ancestor(cd.top(), 0));
         assert!(cd.is_centroid_ancestor(cd.top(), 1));
+    }
+
+    /// Reference components by brute force: remove all centroids of
+    /// depth < depth(c), take the connected piece containing c.
+    fn brute_component(t: &RootedTree, cd: &CentroidDecomposition, c: u32) -> Vec<u32> {
+        let n = t.n();
+        let alive = |v: u32| v == c || cd.depth(v) >= cd.depth(c);
+        let mut seen = vec![false; n];
+        let mut stack = vec![c];
+        seen[c as usize] = true;
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            let mut nbrs: Vec<u32> = t.children(v).to_vec();
+            if v != t.root() {
+                nbrs.push(t.parent(v));
+            }
+            for u in nbrs {
+                if alive(u) && !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn component_queries_match_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(85);
+        let t = random_tree(90, &mut rng);
+        let cd = CentroidDecomposition::build(&t, &Meter::disabled());
+        for c in 0..90u32 {
+            let comp = brute_component(&t, &cd, c);
+            assert_eq!(comp.len() as u32, cd.component_size(c), "size of component({c})");
+            let (lo, hi) = cd.post_range(c);
+            let mut in_comp = [false; 90];
+            for &v in &comp {
+                in_comp[v as usize] = true;
+                assert!(cd.component_contains(c, v), "{v} in component({c})");
+                assert!((lo..=hi).contains(&t.post(v)), "post range of component({c})");
+                if v != c {
+                    // Routing: the centroid child toward v is a child of
+                    // c whose component contains v.
+                    let d = cd.child_toward(c, v);
+                    assert_eq!(cd.parent(d), c);
+                    assert!(cd.component_contains(d, v));
+                }
+            }
+            for v in 0..90u32 {
+                if !in_comp[v as usize] {
+                    assert!(!cd.component_contains(c, v), "{v} not in component({c})");
+                }
+            }
+            // Children's components partition component(c) \ {c}.
+            let sub: u32 = cd.children(c).iter().map(|&d| cd.component_size(d)).sum();
+            assert_eq!(sub + 1, cd.component_size(c), "children partition component({c})");
+        }
+    }
+
+    #[test]
+    fn build_charge_is_n_log_n() {
+        // The satellite fix: the charged construction cost is the
+        // documented `n · (⌊log₂ n⌋ + 1)`, not a bit-trick expression.
+        for n in [1usize, 2, 3, 7, 8, 100, 1024, 5000] {
+            let expect = (n.max(1) as u64) * ((n.max(1) as f64).log2().floor() as u64 + 1);
+            assert_eq!(build_charge(n), expect, "n={n}");
+        }
+        let mut rng = StdRng::seed_from_u64(86);
+        let t = random_tree(300, &mut rng);
+        let meter = Meter::enabled();
+        let _ = CentroidDecomposition::build(&t, &meter);
+        assert_eq!(meter.get(pmc_parallel::meter::CostKind::TreeOp), build_charge(300));
     }
 }

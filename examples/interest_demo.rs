@@ -11,7 +11,7 @@
 //! ```
 
 use parallel_mincut::prelude::*;
-use pmc_mincut::{CutQuery, InterestSearch};
+use pmc_mincut::{CutQuery, InterestSearch, InterestStrategy};
 use pmc_tree::{LcaTable, RootedTree};
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
     let lca = LcaTable::build(&tree);
     let meter = Meter::disabled();
     let q = CutQuery::build(&g, &tree, &lca, 0.5, &meter);
-    let search = InterestSearch::build(&q, &lca, &meter);
+    let search = InterestSearch::build(&q, &lca, InterestStrategy::default(), &meter);
 
     let name = |v: u32| match v {
         3 => "e ",

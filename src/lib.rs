@@ -40,7 +40,7 @@ pub mod prelude {
     pub use pmc_mincut::{
         approx_mincut, approx_mincut_eps, exact_mincut, mincut_small, naive_two_respecting,
         two_respecting_mincut, ApproxParams, ApproxResult, ExactParams, ExactResult,
-        TwoRespectParams,
+        InterestStrategy, TwoRespectParams,
     };
     pub use pmc_parallel::{CostKind, CostReport, Meter};
 }

@@ -136,7 +136,8 @@ proptest! {
         }
     }
 
-    /// Interest arms cover the brute-force interesting set.
+    /// Interest arms cover the brute-force interesting set — under both
+    /// arm-tracing strategies.
     #[test]
     fn interest_arms_cover(
         n in 5usize..16,
@@ -147,23 +148,94 @@ proptest! {
         let t = spanning_tree(&g, 0);
         let lca = LcaTable::build(&t);
         let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
-        let is = pmc_mincut::InterestSearch::build(&q, &lca, &Meter::disabled());
         let m = Meter::disabled();
-        for e in 1..g.n() as u32 {
-            let arms = is.arms(e, &m);
-            let mut cover = std::collections::HashSet::new();
-            for mut v in [arms.de, arms.ce] {
-                loop {
-                    cover.insert(v);
-                    if v == t.root() {
-                        break;
+        for strategy in [InterestStrategy::HeavyPath, InterestStrategy::Centroid] {
+            let is = pmc_mincut::InterestSearch::build(&q, &lca, strategy, &m);
+            for e in 1..g.n() as u32 {
+                let arms = is.arms(e, &m);
+                let mut cover = std::collections::HashSet::new();
+                for mut v in [arms.de, arms.ce] {
+                    loop {
+                        cover.insert(v);
+                        if v == t.root() {
+                            break;
+                        }
+                        v = t.parent(v);
                     }
-                    v = t.parent(v);
+                }
+                for f in is.brute_interesting_set(e, &m) {
+                    prop_assert!(
+                        cover.contains(&f),
+                        "{:?}: edge {} not covered for e={}", strategy, f, e
+                    );
                 }
             }
-            for f in is.brute_interesting_set(e, &m) {
-                prop_assert!(cover.contains(&f), "edge {} not covered for e={}", f, e);
+        }
+    }
+
+    /// Claim 4.8 as a property: the interesting set `Π(e)` is a single
+    /// tree path through `e` — connected, and no vertex of `Π(e) ∪ {e}`
+    /// is incident to more than two of its edges — and both arm-tracing
+    /// strategies locate exactly the same (unique) arm endpoints.
+    #[test]
+    fn interesting_set_is_single_path(
+        n in 5usize..16,
+        extra in 2usize..32,
+        max_w in 1u64..10,
+        seed in 0u64..500,
+    ) {
+        let g = graph_from(n, extra, max_w, seed);
+        let t = spanning_tree(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        let m = Meter::disabled();
+        let heavy =
+            pmc_mincut::InterestSearch::build(&q, &lca, InterestStrategy::HeavyPath, &m);
+        let centroid =
+            pmc_mincut::InterestSearch::build(&q, &lca, InterestStrategy::Centroid, &m);
+        for e in 1..g.n() as u32 {
+            let set = heavy.brute_interesting_set(e, &m);
+            let path: std::collections::HashSet<u32> =
+                set.iter().copied().chain([e]).collect();
+            // Connectivity: every edge of Π(e) reaches e through
+            // interesting edges only.
+            for &f in &set {
+                let l = lca.lca(e, f);
+                for mut cur in [f, e] {
+                    while cur != l {
+                        prop_assert!(
+                            path.contains(&cur),
+                            "e={}: gap at {} on the way to lca", e, cur
+                        );
+                        cur = t.parent(cur);
+                    }
+                }
             }
+            // Branchlessness: a path's edge set touches each vertex at
+            // most twice. Edge `v` is incident to vertices v and
+            // parent(v).
+            let mut incident = std::collections::HashMap::new();
+            for &v in &path {
+                *incident.entry(v).or_insert(0u32) += 1;
+                *incident.entry(t.parent(v)).or_insert(0u32) += 1;
+            }
+            for (v, deg) in incident {
+                prop_assert!(deg <= 2, "e={}: Π(e)∪{{e}} branches at vertex {}", e, v);
+            }
+            // Both strategies find the same, unique endpoints.
+            let ah = heavy.arms(e, &m);
+            let ac = centroid.arms(e, &m);
+            prop_assert_eq!(ah, ac, "strategies disagree at e={}", e);
+            // Tightness: de is the deepest interesting strict
+            // descendant of e (or e itself), ce the deepest interesting
+            // edge incomparable with e (or e itself).
+            let deepest = |pred: &dyn Fn(u32) -> bool| -> Option<u32> {
+                set.iter().copied().filter(|&f| pred(f)).max_by_key(|&f| t.depth(f))
+            };
+            let de = deepest(&|f| f != e && t.is_ancestor(e, f)).unwrap_or(e);
+            let ce = deepest(&|f| !t.is_ancestor(e, f) && !t.is_ancestor(f, e)).unwrap_or(e);
+            prop_assert_eq!(ah.de, de, "de not tight at e={}", e);
+            prop_assert_eq!(ah.ce, ce, "ce not tight at e={}", e);
         }
     }
 
