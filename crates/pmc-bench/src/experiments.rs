@@ -216,25 +216,66 @@ pub fn run_depth_scaling(sizes: &[usize], seed: u64) -> Table {
     t
 }
 
+/// One timed run of the exact pipeline under a `p`-thread pool.
+/// Returns `(wall ms, cut value)`.
+fn timed_exact(g: &Graph, p: usize) -> (f64, u64) {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(p).build().expect("pool");
+    pool.install(|| {
+        let t0 = Instant::now();
+        let r = exact_mincut(g, &ExactParams::default());
+        assert!(r.cut.value > 0);
+        (t0.elapsed().as_secs_f64() * 1e3, r.cut.value)
+    })
+}
+
 /// E-speedup — Brent scheduling: wall time of the exact pipeline as the
-/// thread count grows.
+/// thread count grows. The baseline is an *explicit* `p = 1` run (best
+/// of two, to damp noise and warm caches), independent of whatever the
+/// `threads` list starts with; the cut value must agree across all
+/// thread counts.
 pub fn run_speedup(n: usize, threads: &[usize], seed: u64) -> Table {
     let w = workloads::non_sparse(n, seed);
     let g = w.graph;
-    let mut t = Table::new(["threads", "wall ms", "speedup"]);
-    let mut t1 = None;
+    let mut t = Table::new(["threads", "wall ms", "speedup vs p=1"]);
+    let (wall_a, value) = timed_exact(&g, 1);
+    let (wall_b, value_b) = timed_exact(&g, 1);
+    assert_eq!(value, value_b, "exact_mincut value unstable at p=1");
+    let t1 = wall_a.min(wall_b);
+    t.row(["1 (baseline)".to_string(), format!("{t1:.1}"), "1.00x".to_string()]);
     for &p in threads {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(p).build().expect("pool");
-        let wall = pool.install(|| {
-            let t0 = Instant::now();
-            let r = exact_mincut(&g, &ExactParams::default());
-            assert!(r.cut.value > 0);
-            t0.elapsed().as_secs_f64() * 1e3
-        });
-        let base = *t1.get_or_insert(wall);
-        t.row([p.to_string(), format!("{wall:.1}"), format!("{:.2}x", base / wall)]);
+        let (wall, v) = timed_exact(&g, p);
+        assert_eq!(v, value, "exact_mincut value changed at p={p}");
+        t.row([p.to_string(), format!("{wall:.1}"), format!("{:.2}x", t1 / wall)]);
     }
     t
+}
+
+/// E-speedup smoke probe: best-of-three `T_1` and `T_p` on the
+/// non-sparse workload (minimum over repeats damps shared-runner
+/// noise, which a single sample would turn into a flaky CI gate), with
+/// the cut-value agreement check. Returns `(t1 ms, tp ms)`.
+pub fn measure_speedup(n: usize, p: usize, seed: u64) -> (f64, f64) {
+    const SAMPLES: usize = 3;
+    let w = workloads::non_sparse(n, seed);
+    let g = w.graph;
+    let best = |threads: usize| -> (f64, u64) {
+        let mut wall = f64::INFINITY;
+        let mut value = None;
+        for _ in 0..SAMPLES {
+            let (w_ms, v) = timed_exact(&g, threads);
+            assert_eq!(
+                *value.get_or_insert(v),
+                v,
+                "exact_mincut value unstable at p={threads}"
+            );
+            wall = wall.min(w_ms);
+        }
+        (wall, value.unwrap())
+    };
+    let (t1, v1) = best(1);
+    let (tp, vp) = best(p);
+    assert_eq!(v1, vp, "exact_mincut value must not depend on the thread count");
+    (t1, tp)
 }
 
 /// E-ablate — design ablations on one fixed workload: interest-search

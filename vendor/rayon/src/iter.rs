@@ -1,297 +1,1263 @@
-//! Sequential parallel-iterator adapters with rayon's method surface.
+//! Genuinely parallel iterator adapters with rayon's method surface.
 //!
-//! [`ParIter`] wraps any `std` iterator and mirrors the adapter names
-//! rayon exposes (`map`, `filter`, `flat_map_iter`, rayon's two-argument
-//! `reduce`, ...). Entry points (`par_iter`, `into_par_iter`,
-//! `par_chunks`, `par_bridge`, ...) are blanket-implemented so call
-//! sites compile identically against this shim and the real crate.
+//! The design is a miniature of rayon's producer model. A [`ParSource`]
+//! is a splittable stream of items: indexed entry points (slices,
+//! `Vec`s, integer ranges, chunk views) split in half recursively and
+//! the halves run under [`crate::join`]; below a split cutoff a leaf is
+//! drained with an ordinary sequential iterator. Adapters (`map`,
+//! `filter`, `enumerate`, `zip`, ...) are sources wrapping sources, so
+//! a whole adapter chain splits as a unit. Non-indexed sources
+//! ([`ParallelBridge`]) never split and run sequentially — the honest
+//! fallback.
+//!
+//! Two properties the workspace's call sites rely on:
+//!
+//! * **Order preservation.** Splits are combined left-before-right, so
+//!   `collect` produces exactly the sequential order, and reductions
+//!   see items in a fixed left-to-right tree independent of how many
+//!   worker threads participate. Any *associative* reduction (`sum`
+//!   over integers, `min`, the `Best::min`-style folds in `pmc-mincut`)
+//!   therefore yields results identical to a sequential run.
+//! * **Real closure bounds.** Item closures are `Fn + Send + Sync`,
+//!   matching the real rayon — shared-state mutation that compiled
+//!   against the old sequential shim's `FnMut` bounds is rejected.
+//!
+//! The split cutoff aims for [`TASKS_PER_THREAD`] leaves per pool
+//! thread, clamped by `with_min_len`/`with_max_len`.
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator.
-#[derive(Debug, Clone)]
-pub struct ParIter<I> {
-    inner: I,
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Target number of leaves per pool thread. More leaves give better
+/// load balance; fewer give less join overhead. Eight is rayon's own
+/// rule of thumb for static splitting.
+const TASKS_PER_THREAD: usize = 8;
+
+/// A splittable stream of items — the shim's producer abstraction.
+pub trait ParSource: Sized + Send {
+    type Item: Send;
+
+    /// Number of items, when known; a pacing hint otherwise (`filter`
+    /// reports its input length, `par_bridge` reports `usize::MAX`).
+    /// Only drives split decisions, never correctness.
+    fn len_hint(&self) -> usize;
+
+    /// Split into a left and right part of roughly equal size, or hand
+    /// the source back when it cannot split (too small, not indexed).
+    fn try_split(self) -> Result<(Self, Self), Self>;
+
+    /// Drain this (leaf) source sequentially, in order.
+    fn seq(self) -> impl Iterator<Item = Self::Item>;
 }
 
-impl<I: Iterator> ParIter<I> {
-    pub fn new(inner: I) -> Self {
-        ParIter { inner }
+/// A source whose length is exact and which can split at any index —
+/// what `enumerate` and `zip` require.
+pub trait IndexedSource: ParSource {
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+}
+
+/// Recursive divide-and-conquer driver: split while above `threshold`,
+/// run the two halves under [`crate::join`], combine left-then-right.
+fn drive<S, R, F, C>(source: S, threshold: usize, consume: &F, combine: &C) -> R
+where
+    S: ParSource,
+    R: Send,
+    F: Fn(S) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    if source.len_hint() > threshold {
+        match source.try_split() {
+            Ok((left, right)) => {
+                let (ra, rb) = crate::join(
+                    || drive(left, threshold, consume, combine),
+                    || drive(right, threshold, consume, combine),
+                );
+                return combine(ra, rb);
+            }
+            Err(source) => return consume(source),
+        }
+    }
+    consume(source)
+}
+
+/// A parallel iterator: a splittable source plus split-granularity
+/// bounds. Mirrors the adapter/consumer surface of rayon's
+/// `ParallelIterator`/`IndexedParallelIterator` that the workspace
+/// uses.
+#[derive(Debug, Clone)]
+pub struct ParIter<S> {
+    source: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: ParSource> ParIter<S> {
+    pub(crate) fn from_source(source: S) -> Self {
+        ParIter { source, min_len: 1, max_len: usize::MAX }
+    }
+
+    /// Leaf size below which no further splits happen.
+    fn threshold(&self) -> usize {
+        let len = self.source.len_hint();
+        let threads = crate::current_num_threads().max(1);
+        let auto = len / (threads * TASKS_PER_THREAD);
+        auto.max(self.min_len).max(1).min(self.max_len.max(1))
+    }
+
+    /// Run a consumer over the source, splitting in parallel.
+    fn run<R, F, C>(self, consume: F, combine: C) -> R
     where
-        F: FnMut(I::Item) -> R,
+        R: Send,
+        F: Fn(S) -> R + Sync,
+        C: Fn(R, R) -> R + Sync,
     {
-        ParIter::new(self.inner.map(f))
+        let threshold = self.threshold();
+        if crate::current_num_threads() <= 1 {
+            return consume(self.source);
+        }
+        drive(self.source, threshold, &consume, &combine)
     }
 
-    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
-    where
-        P: FnMut(&I::Item) -> bool,
-    {
-        ParIter::new(self.inner.filter(p))
-    }
+    // ---- splitting knobs -------------------------------------------
 
-    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
-    where
-        F: FnMut(I::Item) -> Option<R>,
-    {
-        ParIter::new(self.inner.filter_map(f))
-    }
-
-    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
-    where
-        F: FnMut(I::Item) -> U,
-        U: IntoIterator,
-    {
-        ParIter::new(self.inner.flat_map(f))
-    }
-
-    /// rayon's `flat_map` takes a parallel-iterable; sequentially the
-    /// two coincide.
-    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
-    where
-        F: FnMut(I::Item) -> U,
-        U: IntoIterator,
-    {
-        ParIter::new(self.inner.flat_map(f))
-    }
-
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter::new(self.inner.enumerate())
-    }
-
-    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
-    where
-        J: Iterator,
-    {
-        ParIter::new(self.inner.zip(other.inner))
-    }
-
-    pub fn chain<J>(self, other: ParIter<J>) -> ParIter<std::iter::Chain<I, J>>
-    where
-        J: Iterator<Item = I::Item>,
-    {
-        ParIter::new(self.inner.chain(other.inner))
-    }
-
-    pub fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<I>>
-    where
-        I: Iterator<Item = &'a T>,
-        T: Clone + 'a,
-    {
-        ParIter::new(self.inner.cloned())
-    }
-
-    pub fn copied<'a, T>(self) -> ParIter<std::iter::Copied<I>>
-    where
-        I: Iterator<Item = &'a T>,
-        T: Copy + 'a,
-    {
-        ParIter::new(self.inner.copied())
-    }
-
-    pub fn with_min_len(self, _len: usize) -> Self {
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_len = len.max(1);
         self
     }
 
-    pub fn with_max_len(self, _len: usize) -> Self {
+    pub fn with_max_len(mut self, len: usize) -> Self {
+        self.max_len = len.max(1);
         self
     }
+
+    // ---- adapters ---------------------------------------------------
+
+    pub fn map<F, R>(self, f: F) -> ParIter<Map<S, F, R>>
+    where
+        F: Fn(S::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        let f = Arc::new(f);
+        self.adapt_with(move |base| Map { base, f, _out: PhantomData })
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<Filter<S, P>>
+    where
+        P: Fn(&S::Item) -> bool + Send + Sync,
+    {
+        let p = Arc::new(p);
+        self.adapt_with(move |base| Filter { base, p })
+    }
+
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<FilterMap<S, F, R>>
+    where
+        F: Fn(S::Item) -> Option<R> + Send + Sync,
+        R: Send,
+    {
+        let f = Arc::new(f);
+        self.adapt_with(move |base| FilterMap { base, f, _out: PhantomData })
+    }
+
+    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<FlatMapIter<S, F, U>>
+    where
+        F: Fn(S::Item) -> U + Send + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        let f = Arc::new(f);
+        self.adapt_with(move |base| FlatMapIter { base, f, _out: PhantomData })
+    }
+
+    /// rayon's `flat_map` takes a parallel-iterable; the shim flattens
+    /// each sub-iterable sequentially inside its leaf, which coincides
+    /// with `flat_map_iter`.
+    pub fn flat_map<F, U>(self, f: F) -> ParIter<FlatMapIter<S, F, U>>
+    where
+        F: Fn(S::Item) -> U + Send + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        self.flat_map_iter(f)
+    }
+
+    pub fn enumerate(self) -> ParIter<Enumerate<S>>
+    where
+        S: IndexedSource,
+    {
+        self.adapt_with(|base| Enumerate { base, offset: 0 })
+    }
+
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<Zip<S, J>>
+    where
+        S: IndexedSource,
+        J: IndexedSource,
+    {
+        self.adapt_with(move |base| Zip { a: base, b: other.source })
+    }
+
+    pub fn chain<J>(self, other: ParIter<J>) -> ParIter<Chain<S, J>>
+    where
+        J: ParSource<Item = S::Item>,
+    {
+        self.adapt_with(move |base| Chain { a: Some(base), b: Some(other.source) })
+    }
+
+    pub fn cloned<'a, T>(self) -> ParIter<Cloned<S>>
+    where
+        S: ParSource<Item = &'a T>,
+        T: Clone + Send + Sync + 'a,
+    {
+        self.adapt_with(|base| Cloned { base })
+    }
+
+    pub fn copied<'a, T>(self) -> ParIter<Copied<S>>
+    where
+        S: ParSource<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        self.adapt_with(|base| Copied { base })
+    }
+
+    fn adapt_with<T: ParSource>(self, wrap: impl FnOnce(S) -> T) -> ParIter<T> {
+        let ParIter { source, min_len, max_len } = self;
+        ParIter { source: wrap(source), min_len, max_len }
+    }
+
+    // ---- consumers --------------------------------------------------
 
     pub fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        F: Fn(S::Item) + Send + Sync,
     {
-        self.inner.for_each(f)
-    }
-
-    pub fn sum<S>(self) -> S
-    where
-        S: std::iter::Sum<I::Item>,
-    {
-        self.inner.sum()
+        self.run(|s| s.seq().for_each(&f), |(), ()| ());
     }
 
     pub fn count(self) -> usize {
-        self.inner.count()
+        self.run(|s| s.seq().count(), |a, b| a + b)
     }
 
-    pub fn min(self) -> Option<I::Item>
+    pub fn sum<T>(self) -> T
     where
-        I::Item: Ord,
+        T: Send + std::iter::Sum<S::Item> + std::iter::Sum<T>,
     {
-        self.inner.min()
+        self.run(|s| s.seq().sum::<T>(), |a, b| [a, b].into_iter().sum())
     }
 
-    pub fn max(self) -> Option<I::Item>
+    pub fn min(self) -> Option<S::Item>
     where
-        I::Item: Ord,
+        S::Item: Ord,
     {
-        self.inner.max()
+        // Sequential `min` keeps the *first* of equal minima; preferring
+        // the left operand on ties reproduces that.
+        self.run(
+            |s| s.seq().min(),
+            |a, b| merge_options(a, b, |x, y| if y < x { y } else { x }),
+        )
     }
 
-    pub fn min_by_key<K, F>(self, f: F) -> Option<I::Item>
+    pub fn max(self) -> Option<S::Item>
+    where
+        S::Item: Ord,
+    {
+        // Sequential `max` keeps the *last* of equal maxima.
+        self.run(
+            |s| s.seq().max(),
+            |a, b| merge_options(a, b, |x, y| if y >= x { y } else { x }),
+        )
+    }
+
+    pub fn min_by_key<K, F>(self, key: F) -> Option<S::Item>
     where
         K: Ord,
-        F: FnMut(&I::Item) -> K,
+        F: Fn(&S::Item) -> K + Send + Sync,
     {
-        self.inner.min_by_key(f)
+        self.run(
+            |s| s.seq().min_by_key(|x| key(x)),
+            |a, b| merge_options(a, b, |x, y| if key(&y) < key(&x) { y } else { x }),
+        )
     }
 
-    pub fn max_by_key<K, F>(self, f: F) -> Option<I::Item>
+    pub fn max_by_key<K, F>(self, key: F) -> Option<S::Item>
     where
         K: Ord,
-        F: FnMut(&I::Item) -> K,
+        F: Fn(&S::Item) -> K + Send + Sync,
     {
-        self.inner.max_by_key(f)
+        self.run(
+            |s| s.seq().max_by_key(|x| key(x)),
+            |a, b| merge_options(a, b, |x, y| if key(&y) >= key(&x) { y } else { x }),
+        )
     }
 
-    pub fn any<P>(mut self, p: P) -> bool
+    pub fn any<P>(self, p: P) -> bool
     where
-        P: FnMut(I::Item) -> bool,
+        P: Fn(S::Item) -> bool + Send + Sync,
     {
-        self.inner.any(p)
+        self.run(|s| s.seq().any(&p), |a, b| a || b)
     }
 
-    pub fn all<P>(mut self, p: P) -> bool
+    pub fn all<P>(self, p: P) -> bool
     where
-        P: FnMut(I::Item) -> bool,
+        P: Fn(S::Item) -> bool + Send + Sync,
     {
-        self.inner.all(p)
+        self.run(|s| s.seq().all(&p), |a, b| a && b)
     }
 
-    /// rayon's two-argument reduce: fold from `identity()` with `op`.
-    pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+    /// rayon's two-argument reduce: fold leaves from `identity()` with
+    /// `op`, combine halves with `op`. Equal to the sequential fold for
+    /// associative `op` with a true identity.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> S::Item + Send + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
     {
-        let first = match self.inner.next() {
-            Some(x) => x,
-            None => return identity(),
-        };
-        self.inner.fold(first, op)
+        self.run(|s| s.seq().fold(identity(), &op), &op)
     }
 
-    pub fn reduce_with<OP>(mut self, op: OP) -> Option<I::Item>
+    pub fn reduce_with<OP>(self, op: OP) -> Option<S::Item>
     where
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        OP: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
     {
-        let first = self.inner.next()?;
-        Some(self.inner.fold(first, op))
+        self.run(
+            |s| {
+                let mut it = s.seq();
+                let first = it.next()?;
+                Some(it.fold(first, &op))
+            },
+            |a, b| merge_options(a, b, &op),
+        )
     }
 
+    /// Collect in source order (splits concatenate left-then-right).
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<S::Item>,
     {
-        self.inner.collect()
+        let parts = self.run(
+            |s| s.seq().collect::<Vec<_>>(),
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        parts.into_iter().collect()
     }
 }
+
+fn merge_options<T>(a: Option<T>, b: Option<T>, pick: impl Fn(T, T) -> T) -> Option<T> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(pick(x, y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Implement `ParSource::try_split` as an even `split_at` for indexed
+/// sources.
+macro_rules! indexed_try_split {
+    () => {
+        fn try_split(self) -> Result<(Self, Self), Self> {
+            let n = IndexedSource::len(&self);
+            if n >= 2 {
+                Ok(self.split_at(n / 2))
+            } else {
+                Err(self)
+            }
+        }
+    };
+}
+
+// ===================================================================
+// Sources
+// ===================================================================
+
+/// Borrowed slice.
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    indexed_try_split!();
+
+    fn seq(self) -> impl Iterator<Item = &'a T> {
+        self.slice.iter()
+    }
+}
+
+impl<T: Sync> IndexedSource for SliceSource<'_, T> {
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (SliceSource { slice: a }, SliceSource { slice: b })
+    }
+}
+
+/// Mutably borrowed slice.
+#[derive(Debug)]
+pub struct SliceMutSource<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    indexed_try_split!();
+
+    fn seq(self) -> impl Iterator<Item = &'a mut T> {
+        self.slice.iter_mut()
+    }
+}
+
+impl<T: Send> IndexedSource for SliceMutSource<'_, T> {
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (SliceMutSource { slice: a }, SliceMutSource { slice: b })
+    }
+}
+
+/// Borrowed chunk view (`par_chunks`). Indices are chunk indices.
+#[derive(Debug, Clone)]
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParSource for ChunksSource<'a, T> {
+    type Item = &'a [T];
+
+    fn len_hint(&self) -> usize {
+        IndexedSource::len(self)
+    }
+
+    indexed_try_split!();
+
+    fn seq(self) -> impl Iterator<Item = &'a [T]> {
+        self.slice.chunks(self.size)
+    }
+}
+
+impl<T: Sync> IndexedSource for ChunksSource<'_, T> {
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index * self.size);
+        (ChunksSource { slice: a, size: self.size }, ChunksSource { slice: b, size: self.size })
+    }
+}
+
+/// Mutably borrowed chunk view (`par_chunks_mut`).
+#[derive(Debug)]
+pub struct ChunksMutSource<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParSource for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len_hint(&self) -> usize {
+        IndexedSource::len(self)
+    }
+
+    indexed_try_split!();
+
+    fn seq(self) -> impl Iterator<Item = &'a mut [T]> {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+impl<T: Send> IndexedSource for ChunksMutSource<'_, T> {
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index * self.size);
+        (
+            ChunksMutSource { slice: a, size: self.size },
+            ChunksMutSource { slice: b, size: self.size },
+        )
+    }
+}
+
+/// Owned vector. Splitting moves the tail into a fresh allocation
+/// (`split_off`), an `O(half)` move per split — fine for the shim's
+/// split depths.
+#[derive(Debug, Clone)]
+pub struct VecSource<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParSource for VecSource<T> {
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.vec.len()
+    }
+
+    indexed_try_split!();
+
+    fn seq(self) -> impl Iterator<Item = T> {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IndexedSource for VecSource<T> {
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, VecSource { vec: tail })
+    }
+}
+
+/// Integer range.
+#[derive(Debug, Clone)]
+pub struct RangeSource<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for RangeSource<$t> {
+            type Item = $t;
+
+            fn len_hint(&self) -> usize {
+                IndexedSource::len(self)
+            }
+
+            indexed_try_split!();
+
+            fn seq(self) -> impl Iterator<Item = $t> {
+                self.range
+            }
+        }
+
+        impl IndexedSource for RangeSource<$t> {
+            fn len(&self) -> usize {
+                let span = (self.range.end as i128) - (self.range.start as i128);
+                span.clamp(0, usize::MAX as i128) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeSource { range: self.range.start..mid },
+                    RangeSource { range: mid..self.range.end },
+                )
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeSource<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<RangeSource<$t>> {
+                ParIter::from_source(RangeSource { range: self })
+            }
+        }
+    )*};
+}
+
+range_source!(usize, u64, u32, u16, i64, i32);
+
+/// Arbitrary sequential iterator (`par_bridge`): never splits, so the
+/// pipeline built on it runs sequentially — the documented fallback
+/// for non-indexed sources.
+#[derive(Debug, Clone)]
+pub struct SeqSource<I> {
+    iter: I,
+}
+
+impl<I> ParSource for SeqSource<I>
+where
+    I: Iterator + Send,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn len_hint(&self) -> usize {
+        usize::MAX
+    }
+
+    fn try_split(self) -> Result<(Self, Self), Self> {
+        Err(self)
+    }
+
+    fn seq(self) -> impl Iterator<Item = I::Item> {
+        self.iter
+    }
+}
+
+// ===================================================================
+// Adapters (sources wrapping sources)
+// ===================================================================
+
+/// Propagate `ParSource` (and optionally `IndexedSource`) through an
+/// adapter that transforms items but not their count or order.
+macro_rules! adapter_split {
+    ($name:ident { $base:ident, $($extra:ident),* }) => {
+        fn try_split(self) -> Result<(Self, Self), Self> {
+            let $name { $base, $($extra),* } = self;
+            match $base.try_split() {
+                Ok((l, r)) => Ok((
+                    $name { $base: l, $($extra: $extra.clone()),* },
+                    $name { $base: r, $($extra),* },
+                )),
+                Err(b) => Err($name { $base: b, $($extra),* }),
+            }
+        }
+    };
+}
+
+pub struct Map<S, F, R> {
+    base: S,
+    f: Arc<F>,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<S, F, R> ParSource for Map<S, F, R>
+where
+    S: ParSource,
+    F: Fn(S::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    adapter_split!(Map { base, f, _out });
+
+    fn seq(self) -> impl Iterator<Item = R> {
+        let f = self.f;
+        self.base.seq().map(move |x| f(x))
+    }
+}
+
+impl<S, F, R> IndexedSource for Map<S, F, R>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> R + Send + Sync,
+    R: Send,
+{
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map { base: l, f: self.f.clone(), _out: PhantomData },
+            Map { base: r, f: self.f, _out: PhantomData },
+        )
+    }
+}
+
+pub struct Filter<S, P> {
+    base: S,
+    p: Arc<P>,
+}
+
+impl<S, P> ParSource for Filter<S, P>
+where
+    S: ParSource,
+    P: Fn(&S::Item) -> bool + Send + Sync,
+{
+    type Item = S::Item;
+
+    /// Upper bound: the unfiltered input length.
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    adapter_split!(Filter { base, p });
+
+    fn seq(self) -> impl Iterator<Item = S::Item> {
+        let p = self.p;
+        self.base.seq().filter(move |x| p(x))
+    }
+}
+
+pub struct FilterMap<S, F, R> {
+    base: S,
+    f: Arc<F>,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<S, F, R> ParSource for FilterMap<S, F, R>
+where
+    S: ParSource,
+    F: Fn(S::Item) -> Option<R> + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    adapter_split!(FilterMap { base, f, _out });
+
+    fn seq(self) -> impl Iterator<Item = R> {
+        let f = self.f;
+        self.base.seq().filter_map(move |x| f(x))
+    }
+}
+
+pub struct FlatMapIter<S, F, U> {
+    base: S,
+    f: Arc<F>,
+    _out: PhantomData<fn() -> U>,
+}
+
+impl<S, F, U> ParSource for FlatMapIter<S, F, U>
+where
+    S: ParSource,
+    F: Fn(S::Item) -> U + Send + Sync,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+
+    /// A pacing hint only — flattening can expand or shrink.
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    adapter_split!(FlatMapIter { base, f, _out });
+
+    fn seq(self) -> impl Iterator<Item = U::Item> {
+        let f = self.f;
+        self.base.seq().flat_map(move |x| f(x))
+    }
+}
+
+pub struct Enumerate<S> {
+    base: S,
+    offset: usize,
+}
+
+impl<S: IndexedSource> ParSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn len_hint(&self) -> usize {
+        self.base.len()
+    }
+
+    indexed_try_split!();
+
+    fn seq(self) -> impl Iterator<Item = (usize, S::Item)> {
+        let offset = self.offset;
+        self.base.seq().enumerate().map(move |(i, x)| (i + offset, x))
+    }
+}
+
+impl<S: IndexedSource> IndexedSource for Enumerate<S> {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate { base: l, offset: self.offset },
+            Enumerate { base: r, offset: self.offset + index },
+        )
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedSource, B: IndexedSource> ParSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len_hint(&self) -> usize {
+        IndexedSource::len(self)
+    }
+
+    indexed_try_split!();
+
+    fn seq(self) -> impl Iterator<Item = (A::Item, B::Item)> {
+        self.a.seq().zip(self.b.seq())
+    }
+}
+
+impl<A: IndexedSource, B: IndexedSource> IndexedSource for Zip<A, B> {
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+}
+
+pub struct Chain<A, B> {
+    a: Option<A>,
+    b: Option<B>,
+}
+
+impl<A, B> ParSource for Chain<A, B>
+where
+    A: ParSource,
+    B: ParSource<Item = A::Item>,
+{
+    type Item = A::Item;
+
+    fn len_hint(&self) -> usize {
+        let a = self.a.as_ref().map_or(0, ParSource::len_hint);
+        let b = self.b.as_ref().map_or(0, ParSource::len_hint);
+        a.saturating_add(b)
+    }
+
+    fn try_split(self) -> Result<(Self, Self), Self> {
+        match (self.a, self.b) {
+            (Some(a), Some(b)) => {
+                Ok((Chain { a: Some(a), b: None }, Chain { a: None, b: Some(b) }))
+            }
+            (Some(a), None) => match a.try_split() {
+                Ok((l, r)) => {
+                    Ok((Chain { a: Some(l), b: None }, Chain { a: Some(r), b: None }))
+                }
+                Err(a) => Err(Chain { a: Some(a), b: None }),
+            },
+            (None, Some(b)) => match b.try_split() {
+                Ok((l, r)) => {
+                    Ok((Chain { a: None, b: Some(l) }, Chain { a: None, b: Some(r) }))
+                }
+                Err(b) => Err(Chain { a: None, b: Some(b) }),
+            },
+            (None, None) => Err(Chain { a: None, b: None }),
+        }
+    }
+
+    fn seq(self) -> impl Iterator<Item = A::Item> {
+        self.a
+            .map(ParSource::seq)
+            .into_iter()
+            .flatten()
+            .chain(self.b.map(ParSource::seq).into_iter().flatten())
+    }
+}
+
+pub struct Cloned<S> {
+    base: S,
+}
+
+impl<'a, T, S> ParSource for Cloned<S>
+where
+    S: ParSource<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    adapter_split!(Cloned { base, });
+
+    fn seq(self) -> impl Iterator<Item = T> {
+        self.base.seq().cloned()
+    }
+}
+
+impl<'a, T, S> IndexedSource for Cloned<S>
+where
+    S: IndexedSource<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Cloned { base: l }, Cloned { base: r })
+    }
+}
+
+pub struct Copied<S> {
+    base: S,
+}
+
+impl<'a, T, S> ParSource for Copied<S>
+where
+    S: ParSource<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    adapter_split!(Copied { base, });
+
+    fn seq(self) -> impl Iterator<Item = T> {
+        self.base.seq().copied()
+    }
+}
+
+impl<'a, T, S> IndexedSource for Copied<S>
+where
+    S: IndexedSource<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Copied { base: l }, Copied { base: r })
+    }
+}
+
+// ===================================================================
+// Entry points
+// ===================================================================
 
 /// `.into_par_iter()` on owned collections and ranges.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter::new(self.into_iter())
+pub trait IntoParallelIterator {
+    type Iter: ParSource<Item = Self::Item>;
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecSource<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<VecSource<T>> {
+        ParIter::from_source(VecSource { vec: self })
     }
 }
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceSource<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        ParIter::from_source(SliceSource { slice: self })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceSource<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        ParIter::from_source(SliceSource { slice: self })
+    }
+}
+
+impl<'a, T: Sync, const N: usize> IntoParallelIterator for &'a [T; N] {
+    type Iter = SliceSource<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        ParIter::from_source(SliceSource { slice: self })
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceMutSource<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIter<SliceMutSource<'a, T>> {
+        ParIter::from_source(SliceMutSource { slice: self })
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceMutSource<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIter<SliceMutSource<'a, T>> {
+        ParIter::from_source(SliceMutSource { slice: self })
+    }
+}
 
 /// `.par_iter()` on `&collection`.
 pub trait IntoParallelRefIterator<'a> {
-    type RefIter: Iterator;
-    fn par_iter(&'a self) -> ParIter<Self::RefIter>;
+    type Iter: ParSource<Item = Self::Item>;
+    type Item: Send;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
-    &'a C: IntoIterator,
+    &'a C: IntoParallelIterator,
 {
-    type RefIter = <&'a C as IntoIterator>::IntoIter;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
 
-    fn par_iter(&'a self) -> ParIter<Self::RefIter> {
-        ParIter::new(self.into_iter())
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        self.into_par_iter()
     }
 }
 
 /// `.par_iter_mut()` on `&mut collection`.
 pub trait IntoParallelRefMutIterator<'a> {
-    type RefMutIter: Iterator;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::RefMutIter>;
+    type Iter: ParSource<Item = Self::Item>;
+    type Item: Send;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
 where
-    &'a mut C: IntoIterator,
+    &'a mut C: IntoParallelIterator,
 {
-    type RefMutIter = <&'a mut C as IntoIterator>::IntoIter;
+    type Iter = <&'a mut C as IntoParallelIterator>::Iter;
+    type Item = <&'a mut C as IntoParallelIterator>::Item;
 
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::RefMutIter> {
-        ParIter::new(self.into_iter())
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        self.into_par_iter()
     }
 }
 
-/// `.par_bridge()` on any sequential iterator.
-pub trait ParallelBridge: Iterator + Sized {
-    fn par_bridge(self) -> ParIter<Self> {
-        ParIter::new(self)
+/// `.par_bridge()` on any sequential iterator. The bridged pipeline
+/// runs sequentially (the shim does not steal from a shared feeder);
+/// indexed entry points are the parallel path.
+pub trait ParallelBridge: Iterator + Send + Sized
+where
+    Self::Item: Send,
+{
+    fn par_bridge(self) -> ParIter<SeqSource<Self>> {
+        ParIter::from_source(SeqSource { iter: self })
     }
 }
 
-impl<I: Iterator + Sized> ParallelBridge for I {}
+impl<I: Iterator + Send> ParallelBridge for I where I::Item: Send {}
 
 /// Chunked views of slices.
-pub trait ParallelSlice<T> {
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+pub trait ParallelSlice<T: Sync> {
+    fn as_parallel_slice(&self) -> &[T];
+
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksSource<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::from_source(ChunksSource { slice: self.as_parallel_slice(), size })
+    }
 }
 
-impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter::new(self.as_ref().chunks(size))
+impl<T: Sync, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+    fn as_parallel_slice(&self) -> &[T] {
+        self.as_ref()
     }
 }
 
 /// Mutable chunked views and parallel sorts on slices.
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     fn as_parallel_slice_mut(&mut self) -> &mut [T];
 
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter::new(self.as_parallel_slice_mut().chunks_mut(size))
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::from_source(ChunksMutSource { slice: self.as_parallel_slice_mut(), size })
     }
 
+    /// Parallel stable sort (merge sort; ties keep their input order).
     fn par_sort(&mut self)
     where
         T: Ord,
     {
-        self.as_parallel_slice_mut().sort();
+        crate::sort::par_sort_by(self.as_parallel_slice_mut(), true, &T::cmp);
+    }
+
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        crate::sort::par_sort_by(self.as_parallel_slice_mut(), true, &cmp);
     }
 
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.as_parallel_slice_mut().sort_unstable();
+        crate::sort::par_sort_by(self.as_parallel_slice_mut(), false, &T::cmp);
     }
 
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
-        F: FnMut(&T, &T) -> std::cmp::Ordering,
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
     {
-        self.as_parallel_slice_mut().sort_unstable_by(cmp);
+        crate::sort::par_sort_by(self.as_parallel_slice_mut(), false, &cmp);
     }
 
     fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
     where
         K: Ord,
-        F: FnMut(&T) -> K,
+        F: Fn(&T) -> K + Sync,
     {
-        self.as_parallel_slice_mut().sort_unstable_by_key(key);
+        crate::sort::par_sort_by(self.as_parallel_slice_mut(), false, &|a: &T, b: &T| {
+            key(a).cmp(&key(b))
+        });
     }
 }
 
-impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+impl<T: Send, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
     fn as_parallel_slice_mut(&mut self) -> &mut [T] {
         self.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPoolBuilder;
+
+    fn with_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(op)
+    }
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = data.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let got: Vec<u64> =
+                with_pool(threads, || data.par_iter().map(|&x| x * 3 + 1).collect());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn filter_and_flat_map_match_sequential() {
+        let data: Vec<u32> = (0..5_000).collect();
+        let expect: Vec<u32> =
+            data.iter().filter(|&&x| x % 3 == 0).flat_map(|&x| [x, x + 1]).collect();
+        let got: Vec<u32> = with_pool(4, || {
+            data.par_iter()
+                .filter(|&&x| x % 3 == 0)
+                .flat_map_iter(|&x| [x, x + 1])
+                .collect()
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn enumerate_and_zip_line_up() {
+        let a: Vec<u32> = (100..1100).collect();
+        let mut b: Vec<u64> = vec![0; 1000];
+        with_pool(4, || {
+            b.par_iter_mut().zip(a.par_iter()).for_each(|(slot, &x)| {
+                *slot = u64::from(x) * 2;
+            });
+        });
+        assert!(b.iter().enumerate().all(|(i, &v)| v == (100 + i as u64) * 2));
+        let idx: Vec<(usize, u32)> =
+            with_pool(4, || a.par_iter().copied().enumerate().map(|(i, x)| (i, x)).collect());
+        assert!(idx.iter().all(|&(i, x)| x as usize == 100 + i));
+    }
+
+    #[test]
+    fn reductions_match_sequential_semantics() {
+        let data: Vec<u64> = (0..5_000).map(|i| (i * 2_654_435_761) % 1_000).collect();
+        with_pool(4, || {
+            assert_eq!(data.par_iter().copied().sum::<u64>(), data.iter().sum::<u64>());
+            assert_eq!(data.par_iter().min(), data.iter().min());
+            assert_eq!(data.par_iter().max(), data.iter().max());
+            assert_eq!(data.par_iter().count(), data.len());
+            assert_eq!(
+                data.par_iter().copied().reduce(|| 0, u64::wrapping_add),
+                data.iter().copied().fold(0, u64::wrapping_add)
+            );
+            // Tie-breaking parity with sequential min/max_by_key.
+            assert_eq!(
+                data.par_iter().enumerate().min_by_key(|&(_, &v)| v),
+                data.iter().enumerate().min_by_key(|&(_, &v)| v)
+            );
+            assert_eq!(
+                data.par_iter().enumerate().max_by_key(|&(_, &v)| v),
+                data.iter().enumerate().max_by_key(|&(_, &v)| v)
+            );
+        });
+    }
+
+    #[test]
+    fn forced_tiny_splits_stay_correct() {
+        let data: Vec<u32> = (0..257).collect();
+        let got: Vec<u32> = with_pool(4, || {
+            data.par_iter().with_max_len(1).map(|&x| x + 1).collect()
+        });
+        let expect: Vec<u32> = data.iter().map(|&x| x + 1).collect();
+        assert_eq!(got, expect);
+        let total: u32 = with_pool(3, || {
+            (0..100u32).into_par_iter().with_max_len(2).sum()
+        });
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        with_pool(4, || {
+            let v: Vec<u32> = empty.par_iter().copied().collect();
+            assert!(v.is_empty());
+            assert_eq!(empty.par_iter().min(), None);
+            assert_eq!((0..0u32).into_par_iter().count(), 0);
+            assert_eq!(empty.par_iter().copied().reduce(|| 7, |a, b| a + b), 7);
+        });
+    }
+
+    #[test]
+    fn chain_and_bridge() {
+        let a = vec![1u32, 2];
+        let b = vec![3u32, 4, 5];
+        let chained: Vec<u32> = with_pool(4, || {
+            a.par_iter().copied().chain(b.par_iter().copied()).collect()
+        });
+        assert_eq!(chained, vec![1, 2, 3, 4, 5]);
+        let bridged: u32 = (0..10u32).filter(|x| x % 2 == 0).par_bridge().sum();
+        assert_eq!(bridged, 20);
+    }
+
+    #[test]
+    fn vec_split_preserves_order() {
+        let data: Vec<u32> = (0..4_097).collect();
+        let doubled: Vec<u32> =
+            with_pool(8, || data.clone().into_par_iter().map(|x| x * 2).collect());
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
     }
 }

@@ -1,28 +1,42 @@
 //! Vendored stand-in for `rayon`.
 //!
 //! The build environment has no registry access, so this crate provides
-//! the subset of rayon's API the workspace uses with honest but simpler
+//! the subset of rayon's API the workspace uses with genuinely parallel
 //! semantics:
 //!
-//! * [`join`] runs its two closures on real OS threads (via
-//!   `std::thread::scope`) while a global budget of live helper threads
-//!   is available, and degrades to sequential execution past the budget
-//!   — so divide-and-conquer call trees still get genuine parallelism
-//!   without unbounded thread spawning;
-//! * the parallel-iterator traits in [`prelude`] are sequential
-//!   adapters with rayon's method signatures (`par_iter`, `map`,
-//!   `reduce(identity, op)`, `flat_map_iter`, ...), which keeps every
-//!   call site source-compatible with the real crate;
-//! * [`ThreadPoolBuilder`] builds a pool object whose `install` scopes
-//!   the value reported by [`current_num_threads`].
+//! * [`join`] runs its two closures concurrently while the installed
+//!   pool's helper budget allows — the second closure is handed to a
+//!   persistent worker thread (see `pool.rs`) — and degrades to
+//!   sequential execution past the budget, so divide-and-conquer call
+//!   trees parallelise without unbounded thread spawning;
+//! * the parallel-iterator traits in [`prelude`] split indexed sources
+//!   (slices, `Vec`s, ranges, chunk views) by divide-and-conquer over
+//!   [`join`] and fall back to sequential execution below a split
+//!   cutoff and for non-indexed sources (`par_bridge`); closure bounds
+//!   are rayon's real `Fn + Send + Sync`, and every combining step is
+//!   order-preserving, so `collect`/`reduce` results are identical to
+//!   the sequential ones whenever the operation is associative (see
+//!   [`mod@iter`]);
+//! * `par_sort*` run a parallel merge sort (`sort.rs`);
+//! * [`ThreadPoolBuilder`] builds a pool whose `install` scopes both
+//!   the value reported by [`current_num_threads`] *and* the helper
+//!   budget [`join`] draws from. The context travels into helper
+//!   threads, so nested joins under `num_threads(1)` stay sequential
+//!   and two pools never distort each other's budgets.
 //!
-//! Swapping in the real rayon is a one-line change in the workspace
-//! manifest and makes the same call sites actually data-parallel.
+//! The default (uninstalled) pool uses the hardware thread count, or
+//! `RAYON_NUM_THREADS` when set — the same environment knob the real
+//! rayon honours. Swapping in the real rayon remains a one-line change
+//! in the workspace manifest: the call-site surface and closure bounds
+//! match the real crate.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 pub mod iter;
+mod pool;
+mod sort;
 
 pub mod prelude {
     pub use crate::iter::{
@@ -31,51 +45,129 @@ pub mod prelude {
     };
 }
 
-fn hardware_threads() -> usize {
+pub(crate) fn hardware_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-thread_local! {
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+/// The identity of a pool: its thread count plus the budget of live
+/// helper threads charged against it. Shared (`Arc`) between the pool
+/// object, the threads running under `install`, and every helper
+/// spawned from them.
+#[derive(Debug)]
+pub(crate) struct PoolContext {
+    num_threads: usize,
+    live_helpers: AtomicUsize,
 }
 
-/// Number of threads the "current pool" would use.
-pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|t| t.get()).unwrap_or_else(hardware_threads)
+/// Widest pool ever built — an input to the worker cap in `pool.rs`.
+static MAX_POOL_WIDTH: AtomicUsize = AtomicUsize::new(1);
+
+pub(crate) fn max_pool_width() -> usize {
+    MAX_POOL_WIDTH.load(Ordering::Relaxed)
 }
 
-/// Live helper threads spawned by [`join`], across the process.
-static LIVE_HELPERS: AtomicUsize = AtomicUsize::new(0);
+impl PoolContext {
+    fn new(num_threads: usize) -> Arc<Self> {
+        let num_threads = num_threads.max(1);
+        MAX_POOL_WIDTH.fetch_max(num_threads, Ordering::Relaxed);
+        Arc::new(PoolContext { num_threads, live_helpers: AtomicUsize::new(0) })
+    }
+
+    /// Claim a helper slot against *this pool's* budget of
+    /// `num_threads - 1` live helpers.
+    fn try_claim(self: &Arc<Self>) -> Option<HelperSlot> {
+        let budget = self.num_threads.saturating_sub(1);
+        let mut live = self.live_helpers.load(Ordering::Relaxed);
+        loop {
+            if live >= budget {
+                return None;
+            }
+            match self.live_helpers.compare_exchange_weak(
+                live,
+                live + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(HelperSlot { ctx: Arc::clone(self) }),
+                Err(now) => live = now,
+            }
+        }
+    }
+}
 
 /// An atomically claimed helper-thread slot, released on drop so a
-/// panicking join closure cannot leak budget.
-struct HelperSlot;
+/// panicking join closure cannot leak budget. Scoped to the pool it
+/// was claimed from.
+pub(crate) struct HelperSlot {
+    ctx: Arc<PoolContext>,
+}
+
+impl HelperSlot {
+    pub(crate) fn context(&self) -> Arc<PoolContext> {
+        Arc::clone(&self.ctx)
+    }
+}
 
 impl Drop for HelperSlot {
     fn drop(&mut self) {
-        LIVE_HELPERS.fetch_sub(1, Ordering::Relaxed);
+        self.ctx.live_helpers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-fn try_claim_helper_slot(budget: usize) -> Option<HelperSlot> {
-    let mut live = LIVE_HELPERS.load(Ordering::Relaxed);
-    loop {
-        if live >= budget {
-            return None;
-        }
-        match LIVE_HELPERS.compare_exchange_weak(
-            live,
-            live + 1,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
-            Ok(_) => return Some(HelperSlot),
-            Err(now) => live = now,
-        }
+thread_local! {
+    static CURRENT_POOL: RefCell<Option<Arc<PoolContext>>> = const { RefCell::new(None) };
+}
+
+/// The process-wide default pool: hardware threads, overridable with
+/// `RAYON_NUM_THREADS` (read once).
+fn default_context() -> Arc<PoolContext> {
+    static DEFAULT: OnceLock<Arc<PoolContext>> = OnceLock::new();
+    Arc::clone(DEFAULT.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(hardware_threads);
+        PoolContext::new(threads)
+    }))
+}
+
+/// The pool the current thread runs under: the innermost `install`, or
+/// (on a helper) the pool of the join that spawned it, or the default.
+pub(crate) fn current_context() -> Arc<PoolContext> {
+    CURRENT_POOL
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(default_context)
+}
+
+/// Installs a pool context on the current thread for a scope; restores
+/// the previous one on drop (also on unwind).
+pub(crate) struct ContextGuard {
+    prev: Option<Arc<PoolContext>>,
+}
+
+impl ContextGuard {
+    pub(crate) fn install(ctx: Arc<PoolContext>) -> Self {
+        ContextGuard { prev: CURRENT_POOL.with(|c| c.replace(Some(ctx))) }
     }
 }
 
-/// Run `a` and `b`, in parallel when the helper-thread budget allows.
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT_POOL.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Number of threads the current pool would use.
+pub fn current_num_threads() -> usize {
+    current_context().num_threads
+}
+
+/// Run `a` and `b`, in parallel when the current pool's helper-thread
+/// budget allows. `b` runs on a persistent worker thread that inherits
+/// the pool context; past the budget both closures run sequentially on
+/// the calling thread.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -83,17 +175,14 @@ where
     RA: Send,
     RB: Send,
 {
-    let budget = current_num_threads().saturating_sub(1);
-    if let Some(_slot) = try_claim_helper_slot(budget) {
-        std::thread::scope(|s| {
-            let hb = s.spawn(b);
+    let ctx = current_context();
+    match ctx.try_claim() {
+        Some(slot) => pool::join_with_helper(slot, a, b),
+        None => {
             let ra = a();
-            (ra, hb.join().expect("rayon shim: join closure panicked"))
-        })
-    } else {
-        let ra = a();
-        let rb = b();
-        (ra, rb)
+            let rb = b();
+            (ra, rb)
+        }
     }
 }
 
@@ -126,32 +215,34 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(hardware_threads) })
+        let ctx = match self.num_threads {
+            Some(n) => PoolContext::new(n),
+            // An unconstrained builder still gets its *own* context
+            // (own helper budget) at the default width.
+            None => PoolContext::new(default_context().num_threads),
+        };
+        Ok(ThreadPool { ctx })
     }
 }
 
-/// A "pool" that scopes [`current_num_threads`] for code run under
-/// [`ThreadPool::install`].
+/// A pool that scopes [`current_num_threads`] *and* the [`join`]
+/// helper budget for code run under [`ThreadPool::install`].
 #[derive(Debug)]
 pub struct ThreadPool {
-    num_threads: usize,
+    ctx: Arc<PoolContext>,
 }
 
 impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.ctx.num_threads
     }
 
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
-        POOL_THREADS.with(|t| {
-            let prev = t.replace(Some(self.num_threads));
-            let out = op();
-            t.set(prev);
-            out
-        })
+        let _guard = ContextGuard::install(Arc::clone(&self.ctx));
+        op()
     }
 }
 
@@ -159,6 +250,8 @@ impl ThreadPool {
 mod tests {
     use super::*;
     use crate::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn join_returns_both_results() {
@@ -186,6 +279,73 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.install(current_num_threads), 3);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_uses_worker_threads_under_wide_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (id_a, id_b) =
+            pool.install(|| join(std::thread::current, std::thread::current));
+        assert_ne!(id_a.id(), id_b.id(), "helper must run on a worker thread");
+    }
+
+    /// Regression for the POOL_THREADS scoping bug: the installed
+    /// thread count used to live in a plain thread-local, so helpers
+    /// spawned by `join` read the hardware count and nested joins under
+    /// `num_threads(1)` still went parallel.
+    #[test]
+    fn nested_joins_under_one_thread_stay_on_one_thread() {
+        fn tree(depth: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            if depth > 0 {
+                join(|| tree(depth - 1, seen), || tree(depth - 1, seen));
+            }
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seen = Mutex::new(HashSet::new());
+        pool.install(|| tree(6, &seen));
+        assert_eq!(seen.lock().unwrap().len(), 1, "num_threads(1) must stay sequential");
+    }
+
+    /// Helpers inherit the installed context: the thread count a helper
+    /// observes is the pool's, not the hardware default.
+    #[test]
+    fn helpers_inherit_installed_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let (inline, helper) =
+            pool.install(|| join(current_num_threads, current_num_threads));
+        assert_eq!(inline, 3);
+        assert_eq!(helper, 3);
+    }
+
+    /// Regression for the helper-budget accounting bug: budgets used to
+    /// be charged against a process-global counter, so two pools
+    /// distorted each other. Claims against one context must not
+    /// consume another's budget.
+    #[test]
+    fn helper_budget_is_scoped_to_the_pool() {
+        let a = PoolContext::new(2); // budget: 1 helper
+        let b = PoolContext::new(2);
+        let a1 = a.try_claim();
+        assert!(a1.is_some());
+        assert!(a.try_claim().is_none(), "pool A's budget is exhausted");
+        let b1 = b.try_claim();
+        assert!(b1.is_some(), "pool B's budget must be unaffected by pool A");
+        drop(a1);
+        assert!(a.try_claim().is_some(), "slot release restores the budget");
+        drop(b1);
+    }
+
+    #[test]
+    fn join_propagates_helper_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| join(|| 1, || -> i32 { panic!("helper boom") }))
+        });
+        assert!(result.is_err());
+        // The pool is still usable afterwards (budget was released).
+        let (x, y) = pool.install(|| join(|| 1, || 2));
+        assert_eq!((x, y), (1, 2));
     }
 
     #[test]

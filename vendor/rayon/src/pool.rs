@@ -1,0 +1,259 @@
+//! The persistent worker pool behind [`crate::join`].
+//!
+//! Workers are plain OS threads parked on a private channel each. An
+//! idle stack holds the send half of every parked worker's channel; a
+//! worker is in the stack iff it is idle. `join` hands its second
+//! closure to an idle worker (spawning a new one when none is parked —
+//! the pool grows to the high-water mark of concurrent helper demand
+//! and workers never exit) and runs the first closure inline.
+//!
+//! Jobs carry borrows of the calling stack frame, so their lifetime is
+//! erased before crossing threads. That erasure is sound because the
+//! calling frame *always* blocks on the job's completion [`Latch`]
+//! before it can be left — on the normal path explicitly, and on the
+//! unwinding path (the inline closure panicked) via [`WaitGuard`]'s
+//! `Drop`. Helper panics are captured on the worker and re-raised on
+//! the calling thread.
+
+// The lifetime erasure in `Job::erase` is this crate's only use of
+// unsafe; the workspace-level `unsafe_code` lint keeps it from
+// spreading silently elsewhere.
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::{ContextGuard, HelperSlot};
+
+/// A lifetime-erased `FnOnce` shipped to a worker thread.
+pub(crate) struct Job {
+    f: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Job {
+    /// Erase the borrow lifetime of `f`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not invalidate data the closure borrows until
+    /// the closure has finished running. [`join_with_helper`] enforces
+    /// this by waiting on the [`Latch`] the job signals before its
+    /// frame can be left on either the normal or the unwinding path.
+    unsafe fn erase<'a>(f: Box<dyn FnOnce() + Send + 'a>) -> Job {
+        Job {
+            f: std::mem::transmute::<
+                Box<dyn FnOnce() + Send + 'a>,
+                Box<dyn FnOnce() + Send + 'static>,
+            >(f),
+        }
+    }
+
+    fn run(self) {
+        (self.f)()
+    }
+}
+
+/// Send halves of the channels of all currently parked workers.
+fn idle_workers() -> &'static Mutex<Vec<Sender<Job>>> {
+    static IDLE: OnceLock<Mutex<Vec<Sender<Job>>>> = OnceLock::new();
+    IDLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_idle() -> std::sync::MutexGuard<'static, Vec<Sender<Job>>> {
+    idle_workers().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Workers ever spawned (they never exit). A finished worker sets its
+/// job's latch *before* re-parking on the idle stack, so a caller's
+/// next join can momentarily see an empty stack while a worker is
+/// re-parking; without a cap that race would leak one permanent thread
+/// per occurrence. Past the cap, dispatch degrades to inline execution
+/// instead.
+static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+fn worker_cap() -> usize {
+    crate::hardware_threads().max(crate::max_pool_width()).saturating_mul(2)
+}
+
+/// Park a fresh worker thread and return the sender of its channel.
+/// Returns `None` past the worker cap or when the OS refuses to spawn
+/// a thread.
+fn spawn_worker() -> Option<Sender<Job>> {
+    if WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed) >= worker_cap() {
+        WORKERS_SPAWNED.fetch_sub(1, Ordering::Relaxed);
+        return None;
+    }
+    let (tx, rx) = channel::<Job>();
+    let tx_self = tx.clone();
+    let spawned = std::thread::Builder::new()
+        .name("rayon-shim-worker".into())
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                job.run();
+                lock_idle().push(tx_self.clone());
+            }
+        })
+        .ok()
+        .map(|_| tx);
+    if spawned.is_none() {
+        WORKERS_SPAWNED.fetch_sub(1, Ordering::Relaxed);
+    }
+    spawned
+}
+
+/// Hand `job` to an idle worker, spawning one if necessary. On failure
+/// (thread spawn refused) the job is handed back for inline execution.
+fn dispatch(mut job: Job) -> Result<(), Job> {
+    loop {
+        let idle = lock_idle().pop();
+        match idle {
+            Some(tx) => match tx.send(job) {
+                Ok(()) => return Ok(()),
+                // The worker died (can only happen if its thread was
+                // torn down externally); retry with another.
+                Err(send_err) => job = send_err.0,
+            },
+            None => {
+                return match spawn_worker() {
+                    Some(tx) => tx.send(job).map_err(|e| e.0),
+                    None => Err(job),
+                }
+            }
+        }
+    }
+}
+
+/// One-shot completion latch carrying the helper's result or its panic
+/// payload.
+struct Latch<T> {
+    state: Mutex<Option<std::thread::Result<T>>>,
+    cv: Condvar,
+}
+
+impl<T> Latch<T> {
+    fn new() -> Self {
+        Latch { state: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn set(&self, result: std::thread::Result<T>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *st = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> std::thread::Result<T> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = st.take() {
+                return result;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Blocks on the latch when dropped during an unwind of the inline
+/// closure, so the helper can never outlive the borrows of its job.
+struct WaitGuard<'a, T> {
+    latch: &'a Latch<T>,
+    armed: bool,
+}
+
+impl<T> WaitGuard<'_, T> {
+    fn wait(mut self) -> T {
+        self.armed = false;
+        match self.latch.wait() {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl<T> Drop for WaitGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            // The inline closure is unwinding; the helper's own panic
+            // (if any) is necessarily swallowed.
+            let _ = self.latch.wait();
+        }
+    }
+}
+
+/// Run `a` inline and `b` on a helper worker, under the pool context
+/// carried by `slot`. The slot's budget is released as soon as `b`
+/// finishes, before the caller is woken.
+pub(crate) fn join_with_helper<A, B, RA, RB>(slot: HelperSlot, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let latch: Latch<RB> = Latch::new();
+    let job = {
+        let latch = &latch;
+        let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let ctx = slot.context();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                // Helpers inherit the *installed* pool, not the
+                // hardware default: nested joins see the same thread
+                // count and charge the same helper budget.
+                let _ctx = ContextGuard::install(ctx);
+                b()
+            }));
+            drop(slot);
+            latch.set(result);
+        });
+        // SAFETY: `WaitGuard` below waits on `latch` before this frame
+        // can be left on either the normal or the unwinding path, so
+        // every borrow inside the job outlives its execution.
+        unsafe { Job::erase(boxed) }
+    };
+    match dispatch(job) {
+        Ok(()) => {
+            let guard = WaitGuard { latch: &latch, armed: true };
+            let ra = a();
+            let rb = guard.wait();
+            (ra, rb)
+        }
+        Err(job) => {
+            // No worker available under the cap: degrade to
+            // sequential. The job still runs (releasing the slot and
+            // setting the latch), just on this thread.
+            job.run();
+            let ra = a();
+            let rb = match latch.wait() {
+                Ok(value) => value,
+                Err(payload) => resume_unwind(payload),
+            };
+            (ra, rb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tight loop of sequential joins races each worker's re-park
+    /// against the next dispatch; the cap must keep the pool from
+    /// accumulating a thread per race.
+    #[test]
+    fn worker_count_stays_bounded_under_join_churn() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            for i in 0..2_000u32 {
+                let (a, b) = crate::join(move || i, move || i + 1);
+                assert_eq!(b - a, 1);
+            }
+        });
+        let spawned = WORKERS_SPAWNED.load(Ordering::Relaxed);
+        assert!(
+            spawned <= worker_cap(),
+            "{spawned} workers spawned, cap {}",
+            worker_cap()
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Parallel merge sort backing `par_sort*`.
+//!
+//! Recursive halving down to [`SORT_SEQ_CUTOFF`], the two halves sorted
+//! under [`crate::join`], then a sequential out-of-place merge per
+//! level. Merging buffers the left run and writes the merged order
+//! front-to-back into the slice; a drop guard copies the unconsumed
+//! remainder of the buffer back into the hole if the comparator panics,
+//! so every element lives in exactly one place on every path (the
+//! panic-safety scheme of `slice::sort`).
+//!
+//! The merge always takes ties from the left run, which makes even the
+//! "unstable" entry points behave deterministically: recursion depth
+//! depends only on the length, so the result is identical no matter how
+//! many threads participate.
+
+// The out-of-place merge is the only unsafe in this module; see the
+// SAFETY comments at each site.
+#![allow(unsafe_code)]
+
+use std::cmp::Ordering;
+use std::ptr;
+
+/// Below this length a leaf falls back to `slice::sort*`.
+const SORT_SEQ_CUTOFF: usize = 4096;
+
+pub(crate) fn par_sort_by<T, F>(v: &mut [T], stable: bool, cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    par_sort_impl(v, stable, cmp, SORT_SEQ_CUTOFF);
+}
+
+fn par_sort_impl<T, F>(v: &mut [T], stable: bool, cmp: &F, cutoff: usize)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= cutoff.max(1) || crate::current_num_threads() <= 1 {
+        if stable {
+            v.sort_by(cmp);
+        } else {
+            v.sort_unstable_by(cmp);
+        }
+        return;
+    }
+    let mid = v.len() / 2;
+    let (left, right) = v.split_at_mut(mid);
+    crate::join(
+        || par_sort_impl(left, stable, cmp, cutoff),
+        || par_sort_impl(right, stable, cmp, cutoff),
+    );
+    merge(v, mid, cmp);
+}
+
+/// Merge the sorted runs `v[..mid]` and `v[mid..]` in place, taking
+/// ties from the left run (stability).
+fn merge<T, F>(v: &mut [T], mid: usize, cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let len = v.len();
+    if mid == 0 || mid == len {
+        return;
+    }
+    // Already in order — the common case for nearly-sorted data.
+    if cmp(&v[mid - 1], &v[mid]) != Ordering::Greater {
+        return;
+    }
+    // Buffer the left run. Ownership of those elements logically moves
+    // into the buffer region; `buf`'s length stays 0 the whole time, so
+    // the Vec never drops them — the hole guard or the main loop moves
+    // every one of them back into `v` exactly once.
+    let mut buf: Vec<T> = Vec::with_capacity(mid);
+    let vp = v.as_mut_ptr();
+    // SAFETY: `buf` has capacity `mid`; the source and destination do
+    // not overlap.
+    unsafe {
+        ptr::copy_nonoverlapping(vp, buf.as_mut_ptr(), mid);
+    }
+    let mut hole = MergeHole {
+        start: buf.as_mut_ptr(),
+        end: unsafe { buf.as_mut_ptr().add(mid) },
+        dest: vp,
+    };
+    // SAFETY of the loop: `dest` advances once per iteration and always
+    // trails `right` by exactly `end - start` slots (the unconsumed
+    // buffered elements), so writes through `dest` only touch vacated
+    // slots; `right` reads each right-run element once.
+    unsafe {
+        let mut right = vp.add(mid);
+        let right_end = vp.add(len);
+        while hole.start < hole.end && right < right_end {
+            // Strictly-less from the right, otherwise (ties included)
+            // from the buffered left run.
+            if cmp(&*right, &*hole.start) == Ordering::Less {
+                ptr::copy_nonoverlapping(right, hole.dest, 1);
+                right = right.add(1);
+            } else {
+                ptr::copy_nonoverlapping(hole.start, hole.dest, 1);
+                hole.start = hole.start.add(1);
+            }
+            hole.dest = hole.dest.add(1);
+        }
+    }
+    // `hole`'s Drop moves any unconsumed buffered elements into the
+    // remaining slots — the normal tail copy and the panic cleanup are
+    // the same operation. `buf` (len 0) then frees only its capacity.
+    drop(hole);
+}
+
+/// The gap of vacated slots in `v` paired with the unconsumed prefix of
+/// the merge buffer; dropping it closes the gap.
+struct MergeHole<T> {
+    start: *mut T,
+    end: *mut T,
+    dest: *mut T,
+}
+
+impl<T> Drop for MergeHole<T> {
+    fn drop(&mut self) {
+        // SAFETY: `[start, end)` holds elements whose only owner is the
+        // buffer, and `dest` points at exactly that many vacated slots.
+        unsafe {
+            let rest = self.end.offset_from(self.start) as usize;
+            ptr::copy_nonoverlapping(self.start, self.dest, rest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPoolBuilder;
+
+    fn with_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(op)
+    }
+
+    /// Deterministic pseudo-random stream (SplitMix64).
+    fn stream(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiny_cutoff_matches_std_sort() {
+        for seed in [1, 2, 3] {
+            for n in [0, 1, 2, 3, 7, 64, 257, 1000] {
+                let data: Vec<u64> = stream(seed, n).iter().map(|x| x % 97).collect();
+                let mut expect = data.clone();
+                expect.sort_unstable();
+                let mut got = data;
+                with_pool(4, || par_sort_impl(&mut got, false, &u64::cmp, 4));
+                assert_eq!(got, expect, "seed={seed} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_sort_keeps_tied_order() {
+        // Keys collide heavily; payloads record input order.
+        let data: Vec<(u64, usize)> =
+            stream(9, 5000).iter().enumerate().map(|(i, x)| (x % 10, i)).collect();
+        let mut expect = data.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        let mut got = data;
+        with_pool(4, || {
+            par_sort_impl(&mut got, true, &|a: &(u64, usize), b: &(u64, usize)| a.0.cmp(&b.0), 64)
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn identical_result_across_thread_counts() {
+        let data = stream(4, 50_000);
+        let mut reference = data.clone();
+        reference.sort_unstable();
+        for threads in [1, 2, 4, 8] {
+            let mut got = data.clone();
+            with_pool(threads, || par_sort_by(&mut got, false, &u64::cmp));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_comparator_leaks_nothing() {
+        // Drop-counting payloads: a panic mid-merge must still leave
+        // every element owned exactly once.
+        use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+        struct Counted(u64);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, AtOrd::Relaxed);
+            }
+        }
+
+        let n = 300;
+        let result = std::panic::catch_unwind(|| {
+            let mut v: Vec<Counted> =
+                stream(7, n).into_iter().map(Counted).collect();
+            let calls = AtomicUsize::new(0);
+            with_pool(4, || {
+                par_sort_impl(
+                    &mut v,
+                    false,
+                    &|a: &Counted, b: &Counted| {
+                        if calls.fetch_add(1, AtOrd::Relaxed) == 512 {
+                            panic!("comparator boom");
+                        }
+                        a.0.cmp(&b.0)
+                    },
+                    16,
+                );
+            });
+            v
+        });
+        assert!(result.is_err(), "the comparator must have panicked");
+        assert_eq!(DROPS.load(AtOrd::Relaxed), n, "each element dropped exactly once");
+    }
+}
