@@ -1,0 +1,70 @@
+//! E-amortize — the two-level engine's Phase 5 profile: shared
+//! graph-lifetime context + parallel tree-lifetime sub-builds against
+//! the faithful pre-engine baseline (per-invocation coalesce /
+//! connectivity / degree prelude, then sequential tree-structure
+//! builds for every packed tree). Both modes solve the same packing
+//! with the same parallel query stages and must agree on the cut
+//! value.
+//!
+//! `cargo run -p pmc-bench --release --bin amortize [full]` prints the
+//! table across sizes.
+//!
+//! `--smoke [n]` runs the CI gate instead: at the default size the
+//! shared-context mode must be ≥ 1.2× faster than rebuild-per-tree.
+//! Like `speedup --smoke`, the assertion only arms when the hardware
+//! has ≥ 4 threads (the parallel sub-builds are half the win); on
+//! smaller machines the probe still runs and checks value agreement.
+
+use pmc_bench::experiments::{measure_amortize, run_amortize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(&args);
+        return;
+    }
+    let full = args.iter().any(|a| a == "full");
+    let sizes: &[usize] = if full { &[1000, 2000, 4000, 8000] } else { &[1000, 2000, 4000] };
+    let t = run_amortize(sizes, 23);
+    t.print("E-amortize — Phase 5: shared two-level contexts vs rebuild-per-tree");
+    println!(
+        "\nReading guide: 'rebuild' replicates the pre-engine Phase 5 (one coalesce +\n\
+         connectivity + degree pass per invocation, then LCA/cut-query/decomposition/\n\
+         interest built back-to-back per packed tree); 'shared' builds one GraphContext\n\
+         and forks each TreeContext's sub-builds under rayon::join."
+    );
+}
+
+fn smoke(args: &[String]) {
+    const SMOKE_THREADS: usize = 4;
+    const MIN_SPEEDUP: f64 = 1.2;
+    let n: usize = args
+        .iter()
+        .skip_while(|a| *a != "--smoke")
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4000);
+    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let probe = measure_amortize(n, 23);
+    let ratio = probe.speedup();
+    println!(
+        "E-amortize smoke: n={n}, trees={}, rebuild={:.0} ms, shared={:.0} ms, \
+         shared speedup {ratio:.2}x (hardware threads: {hw})",
+        probe.trees, probe.rebuild_ms, probe.shared_ms
+    );
+    if hw >= SMOKE_THREADS {
+        assert!(
+            ratio >= MIN_SPEEDUP,
+            "shared-context speedup {ratio:.2}x is below the {MIN_SPEEDUP}x gate \
+             (rebuild={:.0} ms, shared={:.0} ms, n={n})",
+            probe.rebuild_ms,
+            probe.shared_ms
+        );
+        println!("PASS: shared-context speedup >= {MIN_SPEEDUP}x");
+    } else {
+        println!(
+            "SKIPPED assertion: fewer than {SMOKE_THREADS} hardware threads; \
+             value agreement between modes still checked"
+        );
+    }
+}

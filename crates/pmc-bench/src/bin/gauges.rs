@@ -23,6 +23,8 @@ fn main() {
         "hierarchy levels",
         "range height",
         "tree height",
+        "graph build",
+        "tree build",
     ]);
     for &n in sizes {
         let w = workloads::non_sparse(n, 99);
@@ -39,12 +41,16 @@ fn main() {
             get("approx:hierarchy_levels"),
             get("cutquery:range_height"),
             get("two_respect:tree_height"),
+            get("engine:graph_build"),
+            get("engine:tree_build"),
         ]);
     }
     t.print("Structural depth gauges (each bounded by the claimed polylog)");
     println!(
         "\nReading guide: packing iterations track lg²n; hierarchy levels are bounded by\n\
          lg(total weight); range height is O(1/ε) (constant in n at fixed ε); tree height\n\
-         is the per-tree critical path of the cut-finding stage (max over packed trees)."
+         is the per-tree critical path of the cut-finding stage (max over packed trees);\n\
+         graph/tree build are the engine's construction critical paths (DESIGN.md §8),\n\
+         attributed separately from query depth."
     );
 }

@@ -2,16 +2,17 @@
 
 use crate::table::{fmt_count, Table};
 use crate::workloads;
-use pmc_graph::{stoer_wagner_mincut, Graph};
+use pmc_graph::{stoer_wagner_mincut, CutResult, Graph};
 use pmc_mincut::exact::exact_mincut_metered;
 use pmc_mincut::{
     approx_mincut, approx_mincut_eps, exact_mincut, greedy_tree_packing, naive_two_respecting,
-    two_respecting_mincut, ApproxParams, ExactParams, InterestStrategy, PackingParams,
-    TwoRespectParams,
+    two_respecting_mincut, ApproxParams, ExactParams, GraphContext, InterestStrategy,
+    PackingParams, TreeContext, TwoRespectParams,
 };
 use pmc_monge::RowMinimaAlgo;
 use pmc_parallel::meter::{CostKind, Meter};
 use pmc_tree::{PathStrategy, RootedTree};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn lg(n: usize) -> f64 {
@@ -151,7 +152,7 @@ pub fn run_eps_sweep(n: usize, eps_values: &[f64], seed: u64) -> Table {
     ]);
     for (regime, density) in [("dense", 0.8), ("sparse", 0.15)] {
         let (g, tree_edges) = workloads::graph_with_tree(n, density, seed);
-        let tree = RootedTree::from_edge_list(g.n(), &tree_edges, 0);
+        let tree = std::sync::Arc::new(RootedTree::from_edge_list(g.n(), &tree_edges, 0));
         for &eps in eps_values {
             let params = TwoRespectParams { eps, ..TwoRespectParams::default() };
             let build_meter = Meter::enabled();
@@ -276,6 +277,126 @@ pub fn measure_speedup(n: usize, p: usize, seed: u64) -> (f64, f64) {
     let (tp, vp) = best(p);
     assert_eq!(v1, vp, "exact_mincut value must not depend on the thread count");
     (t1, tp)
+}
+
+/// One measured pass of the `E-amortize` probe.
+#[derive(Debug, Clone)]
+pub struct AmortizeProbe {
+    /// Edges of the (coalesced) workload graph.
+    pub m: usize,
+    /// Distinct packed trees solved per pass.
+    pub trees: usize,
+    /// Wall time of the rebuild-per-tree baseline (best of samples).
+    pub rebuild_ms: f64,
+    /// Wall time of the shared-context engine path (best of samples).
+    pub shared_ms: f64,
+    /// The cut value (must agree between the two modes).
+    pub value: u64,
+}
+
+impl AmortizeProbe {
+    pub fn speedup(&self) -> f64 {
+        self.rebuild_ms / self.shared_ms
+    }
+}
+
+/// E-amortize — the two-level engine's Phase 5 profile on one fixed
+/// tree packing:
+///
+/// * **rebuild-per-tree** (the pre-engine cost model, replicated
+///   faithfully): one coalesce + connectivity check + degree scan per
+///   solve invocation — what `exact_mincut` paid once around its Phase
+///   5 loop — then, per packed tree, the tree-lifetime structures built
+///   back-to-back on one thread (the old `two_respecting_mincut`
+///   profile: LCA, then cut-query structure, then path decomposition,
+///   then interest engine, sequentially).
+/// * **shared-context**: one [`GraphContext`] for the whole loop, one
+///   [`TreeContext`] per tree with its sub-builds forked under
+///   `rayon::join`.
+///
+/// Both modes solve the same trees with the same (parallel) query
+/// stages and must produce the same cut value; only construction
+/// differs. Best-of-samples per mode damps shared-runner noise.
+pub fn measure_amortize(n: usize, seed: u64) -> AmortizeProbe {
+    const SAMPLES: usize = 3;
+    let g = workloads::non_sparse(n, seed).graph;
+    let m = Meter::disabled();
+    let params = TwoRespectParams::default();
+    // A bounded packing: the experiment measures per-tree context cost,
+    // not packing cost, so a handful of distinct trees is enough.
+    let packing = PackingParams {
+        iterations_factor: 1.0,
+        min_iterations: 8,
+        max_iterations: 32,
+        trees_factor: 1.0,
+        min_trees: 8,
+    };
+    let (graph_m, trees) = {
+        let ctx = GraphContext::build(&g, &m);
+        (ctx.m(), greedy_tree_packing(ctx.graph(), &packing, &m))
+    };
+
+    let rebuild_pass = || -> (f64, u64) {
+        let t0 = Instant::now();
+        // The pre-engine per-invocation prelude: coalesce, one
+        // connectivity pass, and (at the end) the min-degree scan —
+        // shared across the invocation's trees, exactly as the old
+        // Phase 5 loop shared `gc`.
+        let gc = g.coalesced();
+        assert!(gc.is_connected());
+        let mut best = CutResult::infinite();
+        for edges in &trees {
+            let tree = Arc::new(RootedTree::from_edge_list(gc.n(), edges, 0));
+            let tc = TreeContext::build_sequential(&gc, tree, &params, &m);
+            best = best.min(tc.solve(&m).cut);
+        }
+        let (v, d) = gc.min_weighted_degree_vertex();
+        best = best.min(CutResult { value: d, side: vec![v] });
+        (t0.elapsed().as_secs_f64() * 1e3, best.value)
+    };
+    let shared_pass = || -> (f64, u64) {
+        let t0 = Instant::now();
+        let ctx = GraphContext::build(&g, &m);
+        let mut best = CutResult::infinite();
+        for edges in &trees {
+            let tc = TreeContext::from_edges(ctx.graph(), edges, 0, &params, &m);
+            best = best.min(tc.solve(&m).cut);
+        }
+        best = best.min(ctx.min_degree_cut());
+        (t0.elapsed().as_secs_f64() * 1e3, best.value)
+    };
+
+    let best_of = |pass: &dyn Fn() -> (f64, u64)| -> (f64, u64) {
+        let mut wall = f64::INFINITY;
+        let mut value = None;
+        for _ in 0..SAMPLES {
+            let (w, v) = pass();
+            assert_eq!(*value.get_or_insert(v), v, "cut value unstable across samples");
+            wall = wall.min(w);
+        }
+        (wall, value.unwrap())
+    };
+    let (rebuild_ms, v_rebuild) = best_of(&rebuild_pass);
+    let (shared_ms, v_shared) = best_of(&shared_pass);
+    assert_eq!(v_rebuild, v_shared, "rebuild and shared modes must agree on the cut");
+    AmortizeProbe { m: graph_m, trees: trees.len(), rebuild_ms, shared_ms, value: v_rebuild }
+}
+
+/// E-amortize table across sizes.
+pub fn run_amortize(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(["n", "m", "trees", "rebuild ms", "shared ms", "shared speedup"]);
+    for &n in sizes {
+        let probe = measure_amortize(n, seed);
+        t.row([
+            n.to_string(),
+            probe.m.to_string(),
+            probe.trees.to_string(),
+            format!("{:.1}", probe.rebuild_ms),
+            format!("{:.1}", probe.shared_ms),
+            format!("{:.2}x", probe.speedup()),
+        ]);
+    }
+    t
 }
 
 /// E-ablate — design ablations on one fixed workload: interest-search
@@ -431,5 +552,14 @@ mod tests {
     fn packing_stats_runs() {
         let t = run_packing_stats(&[32], 6);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn amortize_probe_modes_agree() {
+        // The value-agreement asserts live inside measure_amortize.
+        let probe = measure_amortize(96, 7);
+        assert!(probe.trees >= 1);
+        assert!(probe.value > 0);
+        assert!(probe.rebuild_ms > 0.0 && probe.shared_ms > 0.0);
     }
 }

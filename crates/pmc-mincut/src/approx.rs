@@ -19,7 +19,8 @@
 //! preserves the min-cut exactly (Claim 3.18) and the "approximation"
 //! is in fact exact — `ApproxResult::below_window` reports this.
 
-use crate::exact::mincut_small;
+use crate::engine::GraphContext;
+use crate::exact::{mincut_small, mincut_small_in};
 use crate::packing::PackingParams;
 use crate::two_respect::TwoRespectParams;
 use pmc_graph::Graph;
@@ -102,24 +103,36 @@ pub struct ApproxResult {
 /// assert_eq!(a.lambda, 3);
 /// ```
 pub fn approx_mincut(g: &Graph, params: &ApproxParams, meter: &Meter) -> ApproxResult {
-    if g.n() < 2 || !g.is_connected() {
+    let ctx = GraphContext::attach(g, meter);
+    approx_mincut_in(&ctx, params, meter)
+}
+
+/// [`approx_mincut`] over a prebuilt [`GraphContext`] — the exact
+/// pipeline passes its own context through so Phase 1 shares the
+/// coalesced graph and connectivity state instead of re-deriving them.
+pub fn approx_mincut_in(ctx: &GraphContext<'_>, params: &ApproxParams, meter: &Meter) -> ApproxResult {
+    if ctx.n() < 2 || !ctx.is_connected() {
         return ApproxResult {
-            lambda: if g.n() < 2 { u64::MAX } else { 0 },
+            lambda: if ctx.n() < 2 { u64::MAX } else { 0 },
             layer: 0,
             layer_values: Vec::new(),
             below_window: true,
         };
     }
+    let g = ctx.graph();
     let hierarchy = ExclusiveHierarchy::build(g, &params.hierarchy, meter);
     let certs = CertificateHierarchy::build(g, &hierarchy, &params.hierarchy, meter);
     meter.record_depth("approx:hierarchy_levels", hierarchy.num_levels() as u64);
     // Layer min-cuts in parallel (§3.1.4 computes the O(log n) instances
-    // simultaneously).
+    // simultaneously). Each layer's union graph gets its own
+    // graph-lifetime context (connectivity + degrees derived once per
+    // layer, not once per probe inside the solver).
     let layer_values: Vec<u64> = (0..certs.num_levels())
         .into_par_iter()
         .map(|i| {
             let u = certs.union_graph(g, i);
-            let c = mincut_small(&u, &params.two_respect, &params.packing, meter);
+            let uctx = GraphContext::adopt(u, meter);
+            let c = mincut_small_in(&uctx, &params.two_respect, &params.packing, meter);
             if c.value == u64::MAX {
                 0
             } else {

@@ -22,11 +22,17 @@ use pmc_graph::Graph;
 use pmc_parallel::meter::{CostKind, Meter};
 use pmc_range::{Point2, RangeTree2D};
 use pmc_tree::{LcaTable, RootedTree};
+use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Cut queries for a fixed spanning tree of a fixed graph.
+///
+/// The tree is held through an [`Arc`] so the structure can live inside
+/// a tree-lifetime context ([`crate::engine::TreeContext`]) alongside
+/// the other per-tree structures without borrowing across fields.
 pub struct CutQuery<'a> {
     g: &'a Graph,
-    tree: &'a RootedTree,
+    tree: Arc<RootedTree>,
     points: RangeTree2D,
     /// `cov[v]` = `w(T_{e_v})` for the tree edge below `v`; 0 at the root.
     cov: Vec<u64>,
@@ -38,49 +44,65 @@ impl<'a> CutQuery<'a> {
     /// Preprocess with the `n^eps`-degree range tree of Lemma 4.25.
     /// `eps` close to `1/log n` gives the binary-tree profile; larger
     /// `eps` trades query fan-out for height (Theorem 4.26's knob).
+    ///
+    /// The two halves of the build are independent given the LCA table —
+    /// the grid points only need postorder numbers, the coverage array
+    /// only the LCA difference trick — so they fork under `rayon::join`
+    /// (DESIGN.md §8).
     pub fn build(
         g: &'a Graph,
-        tree: &'a RootedTree,
+        tree: &Arc<RootedTree>,
         lca: &LcaTable,
         eps: f64,
         meter: &Meter,
     ) -> Self {
         let n = tree.n();
         assert_eq!(g.n(), n, "graph and tree must share the vertex set");
-        // Grid points, both orientations.
-        let mut pts = Vec::with_capacity(g.m() * 2);
-        for e in g.edges() {
-            let (pu, pv) = (tree.post(e.u), tree.post(e.v));
-            pts.push(Point2 { x: pu, y: pv, w: e.w });
-            pts.push(Point2 { x: pv, y: pu, w: e.w });
-        }
-        let points = RangeTree2D::build(pts, n.max(2), eps, meter);
+        let (points, cov) = rayon::join(
+            || {
+                // Grid points, both orientations.
+                let mut pts = Vec::with_capacity(g.m() * 2);
+                for e in g.edges() {
+                    let (pu, pv) = (tree.post(e.u), tree.post(e.v));
+                    pts.push(Point2 { x: pu, y: pv, w: e.w });
+                    pts.push(Point2 { x: pv, y: pu, w: e.w });
+                }
+                RangeTree2D::build(pts, n.max(2), eps, meter)
+            },
+            || {
+                // cov via the LCA difference trick: +w at both endpoints,
+                // -2w at the LCA; subtree sums in postorder.
+                let mut diff = vec![0i64; n];
+                for e in g.edges() {
+                    let l = lca.lca(e.u, e.v);
+                    diff[e.u as usize] += e.w as i64;
+                    diff[e.v as usize] += e.w as i64;
+                    diff[l as usize] -= 2 * e.w as i64;
+                }
+                meter.add(CostKind::TreeOp, g.m() as u64 + n as u64);
+                let mut cov_acc = vec![0i64; n];
+                for idx in 0..n as u32 {
+                    let v = tree.vertex_at_post(idx);
+                    let mut acc = diff[v as usize];
+                    for &c in tree.children(v) {
+                        acc += cov_acc[c as usize];
+                    }
+                    cov_acc[v as usize] = acc;
+                }
+                cov_acc
+                    .into_iter()
+                    .map(|x| u64::try_from(x).expect("coverage must be non-negative"))
+                    .collect::<Vec<u64>>()
+            },
+        );
         meter.record_depth("cutquery:range_height", points.height() as u64);
-
-        // cov via the LCA difference trick: +w at both endpoints, -2w at
-        // the LCA; subtree sums in postorder.
-        let mut diff = vec![0i64; n];
-        for e in g.edges() {
-            let l = lca.lca(e.u, e.v);
-            diff[e.u as usize] += e.w as i64;
-            diff[e.v as usize] += e.w as i64;
-            diff[l as usize] -= 2 * e.w as i64;
+        CutQuery {
+            g,
+            tree: Arc::clone(tree),
+            points,
+            cov,
+            max_coord: (n as u32).saturating_sub(1),
         }
-        meter.add(CostKind::TreeOp, g.m() as u64 + n as u64);
-        let mut cov_acc = vec![0i64; n];
-        for idx in 0..n as u32 {
-            let v = tree.vertex_at_post(idx);
-            let mut acc = diff[v as usize];
-            for &c in tree.children(v) {
-                acc += cov_acc[c as usize];
-            }
-            cov_acc[v as usize] = acc;
-        }
-        let cov = cov_acc
-            .into_iter()
-            .map(|x| u64::try_from(x).expect("coverage must be non-negative"))
-            .collect();
-        CutQuery { g, tree, points, cov, max_coord: (n as u32).saturating_sub(1) }
     }
 
     #[inline]
@@ -90,13 +112,46 @@ impl<'a> CutQuery<'a> {
 
     #[inline]
     pub fn tree(&self) -> &RootedTree {
-        self.tree
+        &self.tree
+    }
+
+    /// A shared handle on the tree (for contexts that outlive borrows).
+    #[inline]
+    pub fn tree_handle(&self) -> Arc<RootedTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// Height of the underlying 2-D range tree (depth accounting).
+    #[inline]
+    pub fn range_height(&self) -> usize {
+        self.points.height()
     }
 
     /// `w(Te)` for the edge below `v` — the 1-respecting cut value.
     #[inline]
     pub fn cov(&self, v: u32) -> u64 {
         self.cov[v as usize]
+    }
+
+    /// The whole coverage array, indexed by lower endpoint (`cov[root]`
+    /// is 0) — the batched form of [`CutQuery::cov`]: stages that scan
+    /// every 1-respecting value read one slice instead of probing vertex
+    /// by vertex.
+    #[inline]
+    pub fn cov_all(&self) -> &[u64] {
+        &self.cov
+    }
+
+    /// Batched coverage lookup over a slice of tree edges.
+    pub fn cov_batch(&self, es: &[u32]) -> Vec<u64> {
+        es.iter().map(|&v| self.cov(v)).collect()
+    }
+
+    /// Batched cut queries: one parallel pass over a pair slice,
+    /// deterministic output order. `e == f` entries degenerate to the
+    /// 1-respecting value, mirroring [`CutQuery::cut`].
+    pub fn cut_batch(&self, pairs: &[(u32, u32)], meter: &Meter) -> Vec<u64> {
+        pairs.par_iter().map(|&(e, f)| self.cut(e, f, meter)).collect()
     }
 
     /// Rectangle sum over `[x1,x2] x [y1,y2]` (inclusive; empty if
@@ -106,18 +161,23 @@ impl<'a> CutQuery<'a> {
     }
 
     /// Weight of graph edges from inside subtree(`a`) to *outside*
-    /// subtree(`b`), where subtree(`a`) ⊆ subtree(`b`).
+    /// subtree(`b`), where subtree(`a`) ⊆ subtree(`b`). The complement
+    /// of `b`'s postorder interval splits into two slabs, submitted as
+    /// one rectangle batch.
     fn weight_to_outside(&self, a: u32, b: u32, meter: &Meter) -> u64 {
         let (ax1, ax2) = (self.tree.start(a), self.tree.post(a));
         let (bs, bp) = (self.tree.start(b), self.tree.post(b));
-        let mut total = 0;
+        let mut rects = [(0u32, 0u32, 0u32, 0u32); 2];
+        let mut k = 0;
         if bs > 0 {
-            total += self.rect(ax1, ax2, 0, bs - 1, meter);
+            rects[k] = (ax1, ax2, 0, bs - 1);
+            k += 1;
         }
         if bp < self.max_coord {
-            total += self.rect(ax1, ax2, bp + 1, self.max_coord, meter);
+            rects[k] = (ax1, ax2, bp + 1, self.max_coord);
+            k += 1;
         }
-        total
+        self.points.sum_rects(&rects[..k], meter)
     }
 
     /// `cov(e, f)`: weight of graph edges covering both tree edges.
@@ -125,7 +185,7 @@ impl<'a> CutQuery<'a> {
     pub fn cov2(&self, e: u32, f: u32, meter: &Meter) -> u64 {
         debug_assert_ne!(e, f);
         meter.bump(CostKind::CutQuery);
-        let t = self.tree;
+        let t = &self.tree;
         if t.is_ancestor(e, f) {
             // f strictly below e: edges from T_f to outside T_e.
             self.weight_to_outside(f, e, meter)
@@ -149,7 +209,7 @@ impl<'a> CutQuery<'a> {
     /// The vertex side realizing `cut(e, f)` (for result extraction):
     /// nested: `T_high \ T_low`; disjoint: `T_e ∪ T_f`.
     pub fn cut_side(&self, e: u32, f: u32) -> Vec<u32> {
-        let t = self.tree;
+        let t = &self.tree;
         let interval = |v: u32| (t.start(v), t.post(v));
         if e == f {
             let (s, p) = interval(e);
@@ -177,11 +237,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn spanning_tree_of(g: &Graph, root: u32) -> RootedTree {
+    fn spanning_tree_of(g: &Graph, root: u32) -> Arc<RootedTree> {
         let forest = spanning_forest(g, &Meter::disabled());
         let edges: Vec<(u32, u32)> =
             forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
-        RootedTree::from_edge_list(g.n(), &edges, root)
+        Arc::new(RootedTree::from_edge_list(g.n(), &edges, root))
     }
 
     /// Brute-force cov(e): edges with exactly one endpoint below v.
@@ -331,7 +391,7 @@ mod tests {
         // middle segment: exactly the two tree edges (no non-tree edges).
         let g = generators::path(10, 5);
         let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
-        let t = RootedTree::from_parents(0, &parent);
+        let t = Arc::new(RootedTree::from_parents(0, &parent));
         let lca = LcaTable::build(&t);
         let q = CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();

@@ -14,15 +14,15 @@
 //! w.h.p. — the property the test-suite checks against Stoer–Wagner
 //! across seeds.
 
-use crate::approx::{approx_mincut, ApproxParams};
+use crate::approx::{approx_mincut_in, ApproxParams};
+use crate::engine::{GraphContext, TreeContext};
 use crate::interest::InterestStrategy;
 use crate::packing::{greedy_tree_packing, PackingParams};
-use crate::two_respect::{two_respecting_mincut, TwoRespectParams};
+use crate::two_respect::TwoRespectParams;
 use pmc_graph::{CutResult, Graph};
 use pmc_parallel::meter::Meter;
 use pmc_sparsify::certificate::k_certificate;
 use pmc_sparsify::skeleton::{skeleton, skeleton_probability};
-use pmc_tree::RootedTree;
 use rayon::prelude::*;
 
 /// Parameters of the exact pipeline.
@@ -107,24 +107,31 @@ pub fn exact_mincut(g: &Graph, params: &ExactParams) -> ExactResult {
     exact_mincut_metered(g, params, &Meter::disabled())
 }
 
-/// [`exact_mincut`] with work-span accounting.
+/// [`exact_mincut`] with work-span accounting. One-shot wrapper: builds
+/// the graph-lifetime [`GraphContext`] and solves once; callers that
+/// solve the same graph repeatedly should build the context themselves
+/// and use [`exact_mincut_in`].
 pub fn exact_mincut_metered(g: &Graph, params: &ExactParams, meter: &Meter) -> ExactResult {
-    if g.n() < 2 {
-        return ExactResult { cut: CutResult::infinite(), stats: ExactStats::default() };
+    let ctx = GraphContext::build(g, meter);
+    exact_mincut_in(&ctx, params, meter)
+}
+
+/// [`exact_mincut`] over a prebuilt [`GraphContext`]: the graph-lifetime
+/// state (coalesced graph, connectivity, degrees, fallback cut) is
+/// reused across calls; only the per-run sampling and per-tree contexts
+/// are built here.
+pub fn exact_mincut_in(ctx: &GraphContext<'_>, params: &ExactParams, meter: &Meter) -> ExactResult {
+    if let Some(cut) = ctx.trivial_cut() {
+        return ExactResult { cut, stats: ExactStats::default() };
     }
-    if !g.is_connected() {
-        let labels = g.component_labels();
-        let side = (0..g.n() as u32).filter(|&v| labels[v as usize] == labels[0]).collect();
-        return ExactResult { cut: CutResult { value: 0, side }, stats: ExactStats::default() };
-    }
-    let gc = g.coalesced();
+    let gc = ctx.graph();
     let mut stats = ExactStats::default();
 
     // Phase 1: constant-factor underestimate of the min cut.
     let lambda_est = match params.lambda_hint {
         Some(l) => l.max(1),
         None => {
-            let a = approx_mincut(&gc, &params.approx, meter);
+            let a = approx_mincut_in(ctx, &params.approx, meter);
             (a.lambda / 2).max(1)
         }
     };
@@ -139,12 +146,12 @@ pub fn exact_mincut_metered(g: &Graph, params: &ExactParams, meter: &Meter) -> E
     let cap_scale = (params.skeleton_c * (gc.n().max(2) as f64).ln() / (eps * eps)).ceil();
     let cap = (8.0 * cap_scale) as u64;
     let mut p = skeleton_probability(gc.n(), eps, lambda_est, params.skeleton_c);
-    let mut h = skeleton(&gc, p, cap, params.seed, meter);
+    let mut h = skeleton(gc, p, cap, params.seed, meter);
     let mut retries = 0;
     while !h.is_connected() && p < 1.0 {
         p = (p * 2.0).min(1.0);
         retries += 1;
-        h = skeleton(&gc, p, cap, params.seed.wrapping_add(retries), meter);
+        h = skeleton(gc, p, cap, params.seed.wrapping_add(retries), meter);
     }
     stats.skeleton_p = p;
     stats.skeleton_edges = h.m();
@@ -159,24 +166,23 @@ pub fn exact_mincut_metered(g: &Graph, params: &ExactParams, meter: &Meter) -> E
     stats.num_trees = trees.len();
 
     // Phase 5: per-tree 2-respecting minimum cuts in the original graph,
-    // in parallel (the paper's outermost parallel loop). The pipeline's
+    // in parallel (the paper's outermost parallel loop). Each packed
+    // tree gets a tree-lifetime context (parallel sub-builds inside);
+    // the graph-lifetime state comes from `ctx`. The pipeline's
     // interest-strategy knob overrides the per-solver one.
     let tr_params =
         TwoRespectParams { interest_strategy: params.interest_strategy, ..params.two_respect };
     let from_trees = trees
         .par_iter()
         .map(|edges| {
-            let tree = RootedTree::from_edge_list(gc.n(), edges, 0);
-            let out = two_respecting_mincut(&gc, &tree, &tr_params, meter);
-            out.cut
+            let tc = TreeContext::from_edges(gc, edges, 0, &tr_params, meter);
+            tc.solve(meter).cut
         })
         .reduce(CutResult::infinite, CutResult::min);
 
-    // Always-valid fallback candidate: the minimum weighted degree.
-    let (v, d) = gc.min_weighted_degree_vertex();
-    let degree_cut = CutResult { value: d, side: vec![v] };
-
-    ExactResult { cut: from_trees.min(degree_cut), stats }
+    // Always-valid fallback candidate: the minimum weighted degree
+    // (precomputed once in the context).
+    ExactResult { cut: from_trees.min(ctx.min_degree_cut()), stats }
 }
 
 /// Exact min-cut for graphs whose minimum cut is already `O(polylog)`
@@ -192,24 +198,32 @@ pub fn mincut_small(
     packing: &PackingParams,
     meter: &Meter,
 ) -> CutResult {
-    if g.n() < 2 {
-        return CutResult::infinite();
+    let ctx = GraphContext::attach(g, meter);
+    mincut_small_in(&ctx, two_respect, packing, meter)
+}
+
+/// [`mincut_small`] over a prebuilt [`GraphContext`] — the §3 hierarchy
+/// and approximation layers call this once per layer graph, deriving
+/// connectivity/degree state exactly once instead of on every probe.
+pub fn mincut_small_in(
+    ctx: &GraphContext<'_>,
+    two_respect: &TwoRespectParams,
+    packing: &PackingParams,
+    meter: &Meter,
+) -> CutResult {
+    if let Some(cut) = ctx.trivial_cut() {
+        return cut;
     }
-    if !g.is_connected() {
-        let labels = g.component_labels();
-        let side = (0..g.n() as u32).filter(|&v| labels[v as usize] == labels[0]).collect();
-        return CutResult { value: 0, side };
-    }
+    let g = ctx.graph();
     let trees = greedy_tree_packing(g, packing, meter);
     let from_trees = trees
         .par_iter()
         .map(|edges| {
-            let tree = RootedTree::from_edge_list(g.n(), edges, 0);
-            two_respecting_mincut(g, &tree, two_respect, meter).cut
+            let tc = TreeContext::from_edges(g, edges, 0, two_respect, meter);
+            tc.solve(meter).cut
         })
         .reduce(CutResult::infinite, CutResult::min);
-    let (v, d) = g.min_weighted_degree_vertex();
-    from_trees.min(CutResult { value: d, side: vec![v] })
+    from_trees.min(ctx.min_degree_cut())
 }
 
 #[cfg(test)]

@@ -273,36 +273,75 @@ impl DecompositionStrategy for CentroidDescent {
     }
 }
 
-enum Engine {
+/// A built arm-tracing engine: the tree-lifetime state of the interest
+/// search (heavy chains or the centroid decomposition). Building one is
+/// the expensive part of [`InterestSearch::build`]; a
+/// [`crate::engine::TreeContext`] constructs it once per packed tree and
+/// binds it to fresh [`InterestSearch`] views via
+/// [`InterestSearch::with_engine`] without rebuilding.
+pub enum InterestEngine {
     HeavyPath(HeavyPathDescent),
     Centroid(CentroidDescent),
     Custom(Box<dyn DecompositionStrategy + Send>),
+}
+
+impl InterestEngine {
+    /// Build the tree-lifetime engine for `strategy`.
+    pub fn build(tree: &pmc_tree::RootedTree, strategy: InterestStrategy, meter: &Meter) -> Self {
+        match strategy {
+            InterestStrategy::HeavyPath => {
+                InterestEngine::HeavyPath(HeavyPathDescent::build(tree, meter))
+            }
+            InterestStrategy::Centroid => {
+                InterestEngine::Centroid(CentroidDescent::build(tree, meter))
+            }
+        }
+    }
+
+    /// The engine as a trait object.
+    pub fn strategy(&self) -> &dyn DecompositionStrategy {
+        match self {
+            InterestEngine::HeavyPath(h) => h,
+            InterestEngine::Centroid(c) => c,
+            InterestEngine::Custom(b) => b.as_ref(),
+        }
+    }
+}
+
+enum EngineRef<'a> {
+    Owned(InterestEngine),
+    Borrowed(&'a InterestEngine),
 }
 
 /// Interest-path search over a fixed [`CutQuery`] structure.
 pub struct InterestSearch<'a> {
     q: &'a CutQuery<'a>,
     lca: &'a LcaTable,
-    engine: Engine,
+    engine: EngineRef<'a>,
 }
 
 impl<'a> InterestSearch<'a> {
-    /// Build the search with the given arm-tracing strategy.
+    /// Build the search with the given arm-tracing strategy (building
+    /// the engine from scratch; use [`InterestSearch::with_engine`] to
+    /// reuse a prebuilt one).
     pub fn build(
         q: &'a CutQuery<'a>,
         lca: &'a LcaTable,
         strategy: InterestStrategy,
         meter: &Meter,
     ) -> Self {
-        let engine = match strategy {
-            InterestStrategy::HeavyPath => {
-                Engine::HeavyPath(HeavyPathDescent::build(q.tree(), meter))
-            }
-            InterestStrategy::Centroid => {
-                Engine::Centroid(CentroidDescent::build(q.tree(), meter))
-            }
-        };
-        InterestSearch { q, lca, engine }
+        let engine = InterestEngine::build(q.tree(), strategy, meter);
+        InterestSearch { q, lca, engine: EngineRef::Owned(engine) }
+    }
+
+    /// Bind the search to a prebuilt tree-lifetime engine — the reuse
+    /// path of the two-level solver engine: no per-call rebuild.
+    pub fn with_engine(
+        q: &'a CutQuery<'a>,
+        lca: &'a LcaTable,
+        engine: &'a InterestEngine,
+    ) -> Self {
+        InterestSearch { q, lca, engine: EngineRef::Borrowed(engine) }
     }
 
     /// Build the search around a caller-supplied arm-tracing engine —
@@ -313,15 +352,14 @@ impl<'a> InterestSearch<'a> {
         lca: &'a LcaTable,
         engine: Box<dyn DecompositionStrategy + Send>,
     ) -> Self {
-        InterestSearch { q, lca, engine: Engine::Custom(engine) }
+        InterestSearch { q, lca, engine: EngineRef::Owned(InterestEngine::Custom(engine)) }
     }
 
     /// The active arm-tracing engine.
     pub fn strategy(&self) -> &dyn DecompositionStrategy {
         match &self.engine {
-            Engine::HeavyPath(h) => h,
-            Engine::Centroid(c) => c,
-            Engine::Custom(b) => b.as_ref(),
+            EngineRef::Owned(e) => e.strategy(),
+            EngineRef::Borrowed(e) => e.strategy(),
         }
     }
 
@@ -489,7 +527,7 @@ mod tests {
 
     struct Fixture {
         g: Graph,
-        tree: RootedTree,
+        tree: std::sync::Arc<RootedTree>,
     }
 
     fn fixture(n: usize, extra: usize, seed: u64) -> Fixture {
@@ -498,7 +536,7 @@ mod tests {
         let forest = spanning_forest(&g, &Meter::disabled());
         let edges: Vec<(u32, u32)> =
             forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
-        let tree = RootedTree::from_edge_list(g.n(), &edges, 0);
+        let tree = std::sync::Arc::new(RootedTree::from_edge_list(g.n(), &edges, 0));
         Fixture { g, tree }
     }
 
@@ -619,7 +657,7 @@ mod tests {
             let forest = spanning_forest(&g, &Meter::disabled());
             let edges: Vec<(u32, u32)> =
                 forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
-            let tree = RootedTree::from_edge_list(g.n(), &edges, 0);
+            let tree = std::sync::Arc::new(RootedTree::from_edge_list(g.n(), &edges, 0));
             let lca = LcaTable::build(&tree);
             let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
             let m = Meter::disabled();
@@ -647,7 +685,7 @@ mod tests {
         // a pure path graph), so nothing is interesting.
         let g = generators::path(12, 4);
         let parent: Vec<u32> = (0..12u32).map(|v| v.saturating_sub(1)).collect();
-        let tree = RootedTree::from_parents(0, &parent);
+        let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
         let lca = LcaTable::build(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
@@ -670,7 +708,7 @@ mod tests {
         edges.push((0, 9, 5)); // heavy chord
         let g = Graph::from_edges(10, edges);
         let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
-        let tree = RootedTree::from_parents(0, &parent);
+        let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
         let lca = LcaTable::build(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
@@ -721,7 +759,7 @@ mod tests {
                 (3, 5, 2), // dashed, weight 2
             ],
         );
-        let tree = RootedTree::from_parents(0, &[0, 0, 0, 1, 2, 4]);
+        let tree = std::sync::Arc::new(RootedTree::from_parents(0, &[0, 0, 0, 1, 2, 4]));
         let lca = LcaTable::build(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let is = InterestSearch::build(&q, &lca, InterestStrategy::default(), &Meter::disabled());
@@ -783,7 +821,7 @@ mod tests {
         // re-anchors in O(1) queries per centroid level.
         let levels = 9; // n = 3·2⁹ − 2 = 1534
         let (g, parent, spine) = generators::fishbone(levels, 8);
-        let tree = RootedTree::from_parents(0, &parent);
+        let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
         let lca = LcaTable::build(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let count = |strategy: InterestStrategy| -> u64 {

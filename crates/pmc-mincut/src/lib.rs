@@ -21,6 +21,10 @@
 //!   hierarchies of §3 (Theorem 3.1).
 //! * [`exact`]: the full pipeline (Theorems 4.1 and 4.26) and the
 //!   simpler baselines used by the experiments.
+//! * [`engine`]: the two-level solver engine — graph-lifetime
+//!   [`GraphContext`] vs tree-lifetime [`TreeContext`], parallel
+//!   sub-builds, and the batched query facade. The one-shot functions
+//!   above are thin wrappers over it.
 //!
 //! Quick start:
 //!
@@ -37,17 +41,24 @@
 
 pub mod approx;
 pub mod cutquery;
+pub mod engine;
 pub mod exact;
 pub mod interest;
 pub mod packing;
 pub mod two_respect;
 
-pub use approx::{approx_mincut, approx_mincut_eps, ApproxParams, ApproxResult};
+pub use approx::{approx_mincut, approx_mincut_eps, approx_mincut_in, ApproxParams, ApproxResult};
 pub use cutquery::CutQuery;
-pub use exact::{exact_mincut, exact_mincut_metered, mincut_small, ExactParams, ExactResult};
+pub use engine::{GraphContext, TreeContext};
+pub use exact::{
+    exact_mincut, exact_mincut_in, exact_mincut_metered, mincut_small, mincut_small_in,
+    ExactParams, ExactResult,
+};
 pub use interest::{
-    Arms, CentroidDescent, DecompositionStrategy, HeavyPathDescent, InterestSearch,
-    InterestStrategy,
+    Arms, CentroidDescent, DecompositionStrategy, HeavyPathDescent, InterestEngine,
+    InterestSearch, InterestStrategy,
 };
 pub use packing::{greedy_tree_packing, PackingParams};
-pub use two_respect::{naive_two_respecting, two_respecting_mincut, TwoRespectParams};
+pub use two_respect::{
+    naive_two_respecting, two_respecting_mincut, two_respecting_mincut_in, TwoRespectParams,
+};

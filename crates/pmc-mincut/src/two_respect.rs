@@ -22,13 +22,14 @@
 //! All three stages run in parallel across paths/pairs through rayon.
 
 use crate::cutquery::CutQuery;
-use crate::interest::{InterestSearch, InterestStrategy};
+use crate::engine::TreeContext;
+use crate::interest::{InterestEngine, InterestSearch, InterestStrategy};
 use pmc_graph::{CutResult, Graph};
 use pmc_monge::{monge_minimum_with, triangle_minimum_with, Orient, RowMinimaAlgo};
 use pmc_parallel::meter::Meter;
 use pmc_tree::{LcaTable, PathDecomposition, PathStrategy, RootedTree};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tuning knobs for the 2-respecting solver.
 #[derive(Debug, Clone, Copy)]
@@ -106,30 +107,43 @@ impl Best {
 /// assert_eq!(out.cut.value, 2);
 /// ```
 /// Minimum 2-respecting cut of `tree` in `g` (Theorem 4.2).
+///
+/// One-shot wrapper: builds a [`TreeContext`] (parallel sub-builds) and
+/// solves once. Callers that solve repeatedly — or query the same tree
+/// — should build the context themselves and use
+/// [`two_respecting_mincut_in`] / [`TreeContext::solve`].
 pub fn two_respecting_mincut(
     g: &Graph,
     tree: &RootedTree,
     params: &TwoRespectParams,
     meter: &Meter,
 ) -> TwoRespectOutcome {
-    let n = tree.n();
-    assert!(n >= 2, "need at least one tree edge");
-    let lca = LcaTable::build(tree);
-    let q = CutQuery::build(g, tree, &lca, params.eps, meter);
+    let ctx = TreeContext::build(g, Arc::new(tree.clone()), params, meter);
+    two_respecting_mincut_in(&ctx, meter)
+}
+
+/// [`two_respecting_mincut`] over a prebuilt [`TreeContext`]: pure
+/// query work, no per-call construction.
+pub fn two_respecting_mincut_in(ctx: &TreeContext<'_>, meter: &Meter) -> TwoRespectOutcome {
+    let tree = ctx.tree();
+    let q = ctx.cut_query();
+    let params = ctx.params();
     if meter.is_enabled() {
-        let height = (0..n as u32).map(|v| tree.depth(v)).max().unwrap_or(0);
-        meter.record_depth("two_respect:tree_height", height as u64);
+        meter.record_depth("two_respect:tree_height", tree.height() as u64);
     }
 
-    // Stage 1: 1-respecting cuts.
-    let one = (0..n as u32)
-        .into_par_iter()
-        .filter(|&v| v != tree.root())
-        .map(|v| Best { value: q.cov(v), e: v, f: v })
+    // Stage 1: 1-respecting cuts — the batched coverage slice.
+    let root = tree.root();
+    let one = q
+        .cov_all()
+        .par_iter()
+        .enumerate()
+        .filter(|&(v, _)| v as u32 != root)
+        .map(|(v, &c)| Best { value: c, e: v as u32, f: v as u32 })
         .reduce(|| Best::NONE, Best::min);
 
     // Stage 2: single-path partial Monge searches.
-    let decomp = PathDecomposition::build(tree, params.strategy, meter);
+    let decomp = ctx.decomposition();
     let single = decomp
         .paths()
         .par_iter()
@@ -152,7 +166,7 @@ pub fn two_respecting_mincut(
 
     // Stage 3: cross-path pairs via interest arms.
     let cross =
-        cross_path_minimum(&q, &lca, &decomp, params.monge_algo, params.interest_strategy, meter);
+        cross_path_minimum(q, ctx.lca(), decomp, params.monge_algo, ctx.interest(), meter);
 
     let best = one.min(single).min(cross);
     debug_assert_ne!(best.value, u64::MAX);
@@ -170,7 +184,7 @@ fn cross_path_minimum(
     lca: &LcaTable,
     decomp: &PathDecomposition,
     algo: RowMinimaAlgo,
-    interest_strategy: InterestStrategy,
+    engine: &InterestEngine,
     meter: &Meter,
 ) -> Best {
     let tree = q.tree();
@@ -178,7 +192,7 @@ fn cross_path_minimum(
     if decomp.num_paths() < 2 {
         return Best::NONE;
     }
-    let search = InterestSearch::build(q, lca, interest_strategy, meter);
+    let search = InterestSearch::with_engine(q, lca, engine);
 
     // Interest tuples (Claim 4.15): for each edge e, the decomposition
     // paths on the root-paths of its arm endpoints.
@@ -200,25 +214,47 @@ fn cross_path_minimum(
         })
         .collect();
 
-    // Symmetric join (Lemma 4.16): group by unordered path pair.
-    let mut pairs: HashMap<(u32, u32), (Vec<u32>, Vec<u32>)> = HashMap::new();
-    for (p, qid, e) in tuples {
-        if p < qid {
-            pairs.entry((p, qid)).or_default().0.push(e);
-        } else {
-            pairs.entry((qid, p)).or_default().1.push(e);
-        }
-    }
-    let jobs: Vec<(Vec<u32>, Vec<u32>)> = pairs
-        .into_values()
-        .filter(|(r, s)| !r.is_empty() && !s.is_empty())
+    // Symmetric join (Lemma 4.16): group by unordered path pair through
+    // a deterministic parallel sort — key by the packed pair id, with
+    // the side (r vs s) and the in-path position as tie-breaks. Equal
+    // keys cannot occur (each (p, q, e) tuple is unique and positions
+    // within a path are distinct), so job order, list order, and the
+    // metered query counts are identical across runs and thread counts;
+    // the HashMap this replaces grouped in allocator order.
+    let mut keyed: Vec<(u64, u32, u32)> = tuples
+        .into_par_iter()
+        .map(|(p, qid, e)| {
+            let (a, b, side) = if p < qid { (p, qid, 0u32) } else { (qid, p, 1u32) };
+            (((a as u64) << 32) | b as u64, side, e)
+        })
         .collect();
+    keyed.par_sort_unstable_by_key(|&(pair, side, e)| (pair, side, decomp.pos_of(e), e));
 
+    // Contiguous runs of one pair id = one join group.
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < keyed.len() {
+        let mut j = i + 1;
+        while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+            j += 1;
+        }
+        jobs.push((i, j));
+        i = j;
+    }
+
+    let keyed = &keyed;
     jobs.into_par_iter()
-        .map(|(mut r, mut s)| {
-            // Order both lists shallow-to-deep along their paths.
-            r.sort_unstable_by_key(|&e| decomp.pos_of(e));
-            s.sort_unstable_by_key(|&e| decomp.pos_of(e));
+        .map(|(lo, hi)| {
+            let run = &keyed[lo..hi];
+            // Entries are sorted r-side (0) before s-side (1), each
+            // shallow-to-deep along its path.
+            let split = run.partition_point(|&(_, side, _)| side == 0);
+            let (r_run, s_run) = run.split_at(split);
+            if r_run.is_empty() || s_run.is_empty() {
+                return Best::NONE;
+            }
+            let r: Vec<u32> = r_run.iter().map(|&(_, _, e)| e).collect();
+            let s: Vec<u32> = s_run.iter().map(|&(_, _, e)| e).collect();
             pair_minimum(q, &r, &s, algo, meter)
         })
         .reduce(|| Best::NONE, Best::min)
@@ -278,8 +314,9 @@ pub fn naive_two_respecting(
 ) -> TwoRespectOutcome {
     let n = tree.n();
     assert!(n >= 2);
-    let lca = LcaTable::build(tree);
-    let q = CutQuery::build(g, tree, &lca, eps, meter);
+    let tree = Arc::new(tree.clone());
+    let lca = LcaTable::build(&tree);
+    let q = CutQuery::build(g, &tree, &lca, eps, meter);
     let root = tree.root();
     let best = (0..n as u32)
         .into_par_iter()
@@ -310,11 +347,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn spanning_tree_of(g: &Graph, root: u32) -> RootedTree {
+    fn spanning_tree_of(g: &Graph, root: u32) -> Arc<RootedTree> {
         let forest = spanning_forest(g, &Meter::disabled());
         let edges: Vec<(u32, u32)> =
             forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
-        RootedTree::from_edge_list(g.n(), &edges, root)
+        Arc::new(RootedTree::from_edge_list(g.n(), &edges, root))
     }
 
     #[test]
@@ -484,7 +521,7 @@ mod tests {
         edges.push((0, 9, 1)); // closes the cycle
         let g = Graph::from_edges(10, edges);
         let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
-        let t = RootedTree::from_parents(0, &parent);
+        let t = Arc::new(RootedTree::from_parents(0, &parent));
         let m = Meter::disabled();
         let out = two_respecting_mincut(&g, &t, &TwoRespectParams::default(), &m);
         assert_eq!(out.cut.value, 2);
@@ -509,7 +546,7 @@ mod tests {
     fn star_tree_one_respecting() {
         let g = generators::star(12, 4);
         let parent: Vec<u32> = (0..12u32).map(|_| 0).collect();
-        let t = RootedTree::from_parents(0, &parent);
+        let t = Arc::new(RootedTree::from_parents(0, &parent));
         let out =
             two_respecting_mincut(&g, &t, &TwoRespectParams::default(), &Meter::disabled());
         assert_eq!(out.cut.value, 4, "isolate one leaf");
@@ -518,7 +555,7 @@ mod tests {
     #[test]
     fn two_vertex_graph() {
         let g = Graph::from_edges(2, [(0, 1, 5)]);
-        let t = RootedTree::from_parents(0, &[0, 0]);
+        let t = Arc::new(RootedTree::from_parents(0, &[0, 0]));
         let out =
             two_respecting_mincut(&g, &t, &TwoRespectParams::default(), &Meter::disabled());
         assert_eq!(out.cut.value, 5);

@@ -125,6 +125,16 @@ impl RangeTree2D {
         self.levels.last().map_or(0, |l| l.node_total.first().copied().unwrap_or(0))
     }
 
+    /// Total weight over a batch of rectangles `(x1, x2, y1, y2)` —
+    /// the slice-submission form of [`RangeTree2D::sum_rect`]. Callers
+    /// that decompose one logical query into several rectangles (the
+    /// complement slabs of a nested cut query, for instance) submit the
+    /// whole batch in one call instead of probing rectangle by
+    /// rectangle.
+    pub fn sum_rects(&self, rects: &[(u32, u32, u32, u32)], meter: &Meter) -> u64 {
+        rects.iter().map(|&(x1, x2, y1, y2)| self.sum_rect(x1, x2, y1, y2, meter)).sum()
+    }
+
     /// Total weight of points in `[x1, x2] x [y1, y2]` (inclusive).
     pub fn sum_rect(&self, x1: u32, x2: u32, y1: u32, y2: u32, meter: &Meter) -> u64 {
         if x1 > x2 || y1 > y2 || self.xs.is_empty() {
@@ -201,6 +211,22 @@ mod tests {
             .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2)
             .map(|p| p.w)
             .sum()
+    }
+
+    #[test]
+    fn sum_rects_matches_individual_sums() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let pts: Vec<Point2> = (0..200)
+            .map(|_| Point2 { x: rng.random_range(0..40), y: rng.random_range(0..40), w: rng.random_range(1..9) })
+            .collect();
+        let t = RangeTree2D::build(pts.clone(), 40, 0.4, &Meter::disabled());
+        let m = Meter::disabled();
+        let rects = [(0u32, 10u32, 5u32, 39u32), (11, 39, 0, 4), (3, 3, 3, 3)];
+        let batched = t.sum_rects(&rects, &m);
+        let singles: u64 =
+            rects.iter().map(|&(x1, x2, y1, y2)| t.sum_rect(x1, x2, y1, y2, &m)).sum();
+        assert_eq!(batched, singles);
+        assert_eq!(t.sum_rects(&[], &m), 0);
     }
 
     #[test]

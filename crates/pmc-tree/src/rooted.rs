@@ -221,6 +221,12 @@ impl RootedTree {
         (0..self.n() as u32).filter(|&v| self.children_range(v).is_empty()).collect()
     }
 
+    /// Height of the tree: the maximum vertex depth (0 for a single
+    /// vertex).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
     /// Record the `O(n)` tree-construction work on a meter.
     pub fn charge_build(&self, meter: &Meter) {
         meter.add(CostKind::TreeOp, self.n() as u64);
@@ -254,6 +260,14 @@ mod tests {
         assert_eq!(t.depth(0), 0);
         assert_eq!(t.depth(3), 2);
         assert_eq!(t.depth(6), 3);
+    }
+
+    #[test]
+    fn height_is_max_depth() {
+        assert_eq!(sample().height(), 3);
+        assert_eq!(RootedTree::from_parents(0, &[0]).height(), 0);
+        let path: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
+        assert_eq!(RootedTree::from_parents(0, &path).height(), 9);
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() {
             (3, 5, 2), // the dashed cross edges
         ],
     );
-    let tree = RootedTree::from_parents(0, &[0, 0, 0, 1, 2, 4]);
+    let tree = std::sync::Arc::new(RootedTree::from_parents(0, &[0, 0, 0, 1, 2, 4]));
     let lca = LcaTable::build(&tree);
     let meter = Meter::disabled();
     let q = CutQuery::build(&g, &tree, &lca, 0.5, &meter);

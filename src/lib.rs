@@ -38,9 +38,10 @@ pub mod prelude {
         stoer_wagner_mincut, CutResult, Graph, GraphBuilder,
     };
     pub use pmc_mincut::{
-        approx_mincut, approx_mincut_eps, exact_mincut, mincut_small, naive_two_respecting,
-        two_respecting_mincut, ApproxParams, ApproxResult, ExactParams, ExactResult,
-        InterestStrategy, TwoRespectParams,
+        approx_mincut, approx_mincut_eps, approx_mincut_in, exact_mincut, exact_mincut_in,
+        mincut_small, mincut_small_in, naive_two_respecting, two_respecting_mincut,
+        two_respecting_mincut_in, ApproxParams, ApproxResult, ExactParams, ExactResult,
+        GraphContext, InterestStrategy, TreeContext, TwoRespectParams,
     };
     pub use pmc_parallel::{CostKind, CostReport, Meter};
 }

@@ -28,7 +28,7 @@ use pmc_tree::{LcaTable, RootedTree};
 /// Per-spine-edge cut-query statistics of `arms()` for one strategy.
 fn arm_query_stats(levels: usize, strategy: InterestStrategy) -> (u64, f64) {
     let (g, parent, spine) = pmc_graph::generators::fishbone(levels, 8);
-    let tree = RootedTree::from_parents(0, &parent);
+    let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
     let lca = LcaTable::build(&tree);
     let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
     let is = InterestSearch::build(&q, &lca, strategy, &Meter::disabled());

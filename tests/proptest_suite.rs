@@ -17,11 +17,11 @@ fn graph_from(n: usize, extra: usize, max_w: u64, seed: u64) -> Graph {
     generators::gnm_connected(n.max(2), extra, max_w.max(1), &mut rng)
 }
 
-fn spanning_tree(g: &Graph, root: u32) -> RootedTree {
+fn spanning_tree(g: &Graph, root: u32) -> std::sync::Arc<RootedTree> {
     let forest = pmc_parallel::spanning_forest::spanning_forest(g, &Meter::disabled());
     let edges: Vec<(u32, u32)> =
         forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
-    RootedTree::from_edge_list(g.n(), &edges, root)
+    std::sync::Arc::new(RootedTree::from_edge_list(g.n(), &edges, root))
 }
 
 proptest! {

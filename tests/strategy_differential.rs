@@ -16,11 +16,11 @@ use rand::SeedableRng;
 
 const BOTH: [InterestStrategy; 2] = [InterestStrategy::HeavyPath, InterestStrategy::Centroid];
 
-fn spanning_tree(g: &Graph, root: u32) -> RootedTree {
+fn spanning_tree(g: &Graph, root: u32) -> std::sync::Arc<RootedTree> {
     let forest = pmc_parallel::spanning_forest::spanning_forest(g, &Meter::disabled());
     let edges: Vec<(u32, u32)> =
         forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
-    RootedTree::from_edge_list(g.n(), &edges, root)
+    std::sync::Arc::new(RootedTree::from_edge_list(g.n(), &edges, root))
 }
 
 /// The differential workloads the issue pins down: ring-of-cliques,
