@@ -1,0 +1,195 @@
+//! Machine-readable benchmark records: `BENCH_<experiment>.json`.
+//!
+//! Every experiment binary emits one record per run so the perf
+//! trajectory is recorded next to the human-readable tables (ROADMAP
+//! "Benchmark trajectory"). The workspace's serde is a vendored no-op
+//! shim, so the JSON here is written by hand — the schema is flat
+//! enough (strings, integers, floats, parallel arrays) that a small
+//! emitter is clearer than a serializer anyway.
+//!
+//! Schema (all records):
+//!
+//! ```json
+//! {
+//!   "experiment": "speedup",
+//!   "workload": "nonsparse n=20000",
+//!   "n": 20000, "m": 2828427,
+//!   "threads": [1, 2, 4],
+//!   "wall_ms": [812.0, 431.0, 240.0],
+//!   "metered_queries": 123456,
+//!   "speedup": 3.38,
+//!   "extra": { "trees": 16.0 }
+//! }
+//! ```
+//!
+//! `threads[i]` and `wall_ms[i]` are parallel arrays; `speedup` is the
+//! experiment's headline ratio (wall speedup vs the 1-thread baseline
+//! for `speedup`, shared-context vs rebuild for `amortize`, default
+//! variant vs naive for `ablation`). `extra` carries experiment-
+//! specific numbers without schema churn.
+
+use std::io;
+use std::path::PathBuf;
+
+/// One benchmark record, serialized to `BENCH_<experiment>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// File stem suffix and the record's `experiment` field.
+    pub experiment: String,
+    /// Human-readable workload name.
+    pub workload: String,
+    pub n: usize,
+    pub m: usize,
+    /// `(threads, wall ms)` samples; parallel arrays in the JSON.
+    pub runs: Vec<(usize, f64)>,
+    /// The experiment's metered query count (CutQuery work).
+    pub metered_queries: u64,
+    /// Headline speedup ratio of the experiment.
+    pub speedup: f64,
+    /// Experiment-specific numbers, serialized under `"extra"`.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Serialize to a JSON object (stable key order, one key per line).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"experiment\": {},\n", json_str(&self.experiment)));
+        s.push_str(&format!("  \"workload\": {},\n", json_str(&self.workload)));
+        s.push_str(&format!("  \"n\": {},\n", self.n));
+        s.push_str(&format!("  \"m\": {},\n", self.m));
+        let threads: Vec<String> = self.runs.iter().map(|&(p, _)| p.to_string()).collect();
+        let walls: Vec<String> = self.runs.iter().map(|&(_, w)| json_f64(w)).collect();
+        s.push_str(&format!("  \"threads\": [{}],\n", threads.join(", ")));
+        s.push_str(&format!("  \"wall_ms\": [{}],\n", walls.join(", ")));
+        s.push_str(&format!("  \"metered_queries\": {},\n", self.metered_queries));
+        s.push_str(&format!("  \"speedup\": {},\n", json_f64(self.speedup)));
+        let extra: Vec<String> = self
+            .extra
+            .iter()
+            .map(|(k, v)| format!("{}: {}", json_str(k), json_f64(*v)))
+            .collect();
+        s.push_str(&format!("  \"extra\": {{{}}}\n", extra.join(", ")));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write `BENCH_<experiment>.json` into `$PMC_BENCH_DIR` (default:
+    /// the current directory) and return the path.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = std::env::var_os("PMC_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Write, print the destination, and swallow (but report) IO errors
+    /// — a bench run should never fail because the record could not be
+    /// persisted.
+    pub fn write_and_announce(&self) {
+        match self.write() {
+            Ok(path) => println!("recorded {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", self.experiment),
+        }
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats only; JSON has no NaN/Infinity, so clamp to null-free
+/// sentinels rather than emit an invalid document.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BenchRecord {
+        BenchRecord {
+            experiment: "speedup".into(),
+            workload: "nonsparse n=100".into(),
+            n: 100,
+            m: 1000,
+            runs: vec![(1, 81.25), (4, 20.5)],
+            metered_queries: 4242,
+            speedup: 3.96,
+            extra: vec![("trees".into(), 16.0)],
+        }
+    }
+
+    #[test]
+    fn json_has_all_schema_fields() {
+        let j = record().to_json();
+        for needle in [
+            "\"experiment\": \"speedup\"",
+            "\"workload\": \"nonsparse n=100\"",
+            "\"n\": 100",
+            "\"m\": 1000",
+            "\"threads\": [1, 4]",
+            "\"wall_ms\": [81.250, 20.500]",
+            "\"metered_queries\": 4242",
+            "\"speedup\": 3.960",
+            "\"extra\": {\"trees\": 16.000}",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        // A light well-formedness check without a parser dependency:
+        // balanced braces/brackets and an even quote count outside
+        // escapes.
+        let j = record().to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn escapes_and_non_finite_floats() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+    }
+
+    #[test]
+    fn write_respects_bench_dir() {
+        let dir = std::env::temp_dir().join("pmc_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Env vars are process-global; this test is the only writer of
+        // PMC_BENCH_DIR in the suite.
+        std::env::set_var("PMC_BENCH_DIR", &dir);
+        let path = record().write().unwrap();
+        std::env::remove_var("PMC_BENCH_DIR");
+        assert_eq!(path, dir.join("BENCH_speedup.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"metered_queries\": 4242"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -8,6 +8,7 @@
 //! strategy comparison cannot silently rot.
 
 use pmc_bench::experiments::run_ablation;
+use pmc_bench::BenchRecord;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,8 +21,19 @@ fn main() {
     } else {
         512
     };
-    let t = run_ablation(n, 19);
+    let (t, summary) = run_ablation(n, 19);
     t.print("Ablations — one 2-respecting solve, all variants must agree on the value");
+    BenchRecord {
+        experiment: "ablation".into(),
+        workload: format!("graph_with_tree n={n} d=0.5"),
+        n: summary.n,
+        m: summary.m,
+        runs: vec![(rayon::current_num_threads(), summary.default_wall_ms)],
+        metered_queries: summary.default_queries,
+        speedup: summary.naive_wall_ms / summary.default_wall_ms,
+        extra: vec![("naive_wall_ms".into(), summary.naive_wall_ms)],
+    }
+    .write_and_announce();
     println!("\nReading guide: the naive row shows the work the interest filter removes;\nthe centroid vs heavy-path rows meter Claim 4.13's O(log n) arm tracing against\nthe O(log² n) fallback ('interest qs'); D&C Monge trades a log factor of\nentries for parallel span.");
     if smoke {
         println!("\n--smoke: all variants agreed with the all-pairs oracle at n = {n}.");

@@ -15,7 +15,34 @@
 //! has ≥ 4 threads (the parallel sub-builds are half the win); on
 //! smaller machines the probe still runs and checks value agreement.
 
-use pmc_bench::experiments::{measure_amortize, run_amortize};
+use pmc_bench::experiments::{measure_amortize, metered_exact_queries, run_amortize, AmortizeProbe};
+use pmc_bench::{workloads, BenchRecord};
+
+/// Record the probe as `BENCH_amortize.json`: `threads` is the current
+/// pool width for both modes (only construction differs), the headline
+/// speedup is shared-context over rebuild-per-tree.
+fn record(n: usize, seed: u64, probe: &AmortizeProbe) {
+    let g = workloads::non_sparse(n, seed).graph;
+    BenchRecord {
+        experiment: "amortize".into(),
+        workload: format!("nonsparse n={n}"),
+        n,
+        m: probe.m,
+        runs: vec![
+            (rayon::current_num_threads(), probe.rebuild_ms),
+            (rayon::current_num_threads(), probe.shared_ms),
+        ],
+        metered_queries: metered_exact_queries(&g),
+        speedup: probe.speedup(),
+        extra: vec![
+            ("trees".into(), probe.trees as f64),
+            ("rebuild_ms".into(), probe.rebuild_ms),
+            ("shared_ms".into(), probe.shared_ms),
+            ("cut_value".into(), probe.value as f64),
+        ],
+    }
+    .write_and_announce();
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -27,6 +54,9 @@ fn main() {
     let sizes: &[usize] = if full { &[1000, 2000, 4000, 8000] } else { &[1000, 2000, 4000] };
     let t = run_amortize(sizes, 23);
     t.print("E-amortize — Phase 5: shared two-level contexts vs rebuild-per-tree");
+    // Record the largest size as the trajectory point.
+    let n = *sizes.last().unwrap();
+    record(n, 23, &measure_amortize(n, 23));
     println!(
         "\nReading guide: 'rebuild' replicates the pre-engine Phase 5 (one coalesce +\n\
          connectivity + degree pass per invocation, then LCA/cut-query/decomposition/\n\
@@ -46,6 +76,7 @@ fn smoke(args: &[String]) {
         .unwrap_or(4000);
     let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let probe = measure_amortize(n, 23);
+    record(n, 23, &probe);
     let ratio = probe.speedup();
     println!(
         "E-amortize smoke: n={n}, trees={}, rebuild={:.0} ms, shared={:.0} ms, \

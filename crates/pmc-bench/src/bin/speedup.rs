@@ -1,16 +1,23 @@
 //! E-speedup — wall-clock scaling with threads (Brent's theorem).
 //!
 //! `cargo run -p pmc-bench --release --bin speedup [full]` prints the
-//! scaling table against an explicit 1-thread baseline.
+//! scaling table against an explicit 1-thread baseline and records the
+//! curve to `BENCH_speedup.json`.
 //!
-//! `--smoke [n]` runs the CI gate instead: the non-sparse workload at
-//! `n` (default 20 000) must show a measurable speedup at 4 threads
-//! over the fixed 1-thread baseline, with identical cut values. The
-//! assertion only arms when the hardware actually has ≥ 4 threads —
-//! on smaller machines the probe still runs (checking value agreement)
-//! but reports the ratio without failing.
+//! `--smoke [n] [--workload uniform|fishbone]` runs a CI gate instead:
+//! the chosen workload at `n` (default 20 000 uniform, 6 000 fishbone)
+//! must show a measurable speedup at 4 threads over the fixed 1-thread
+//! baseline, with identical cut values. The uniform floor is 1.4×
+//! (raised from 1.3× when work stealing landed); the fishbone
+//! skew-adversary floor is 1.3× — under the old static splitter this
+//! workload strands whole combs on one thread and shows none. The
+//! assertion only arms when the hardware actually has ≥ 4 threads — on
+//! smaller machines the probe still runs (checking value agreement)
+//! but reports the ratio without failing. Each smoke writes
+//! `BENCH_speedup_smoke[_fishbone].json`.
 
-use pmc_bench::experiments::{measure_speedup, run_speedup};
+use pmc_bench::experiments::{measure_speedup_workload, metered_exact_queries, run_speedup};
+use pmc_bench::{workloads, BenchRecord};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,33 +37,76 @@ fn main() {
     if *threads.last().unwrap() != max {
         threads.push(max);
     }
-    let t = run_speedup(n, &threads, 17);
+    let (t, curve) = run_speedup(n, &threads, 17);
     t.print("Speedup — exact pipeline wall time vs threads (O(W/p + D))");
+    BenchRecord {
+        experiment: "speedup".into(),
+        workload: curve.workload.clone(),
+        n: curve.n,
+        m: curve.m,
+        runs: curve.runs.clone(),
+        metered_queries: curve.queries,
+        speedup: curve.final_speedup(),
+        extra: vec![("cut_value".into(), curve.value as f64)],
+    }
+    .write_and_announce();
+}
+
+/// `--workload <name>` argument (default `uniform`).
+fn workload_arg(args: &[String]) -> &str {
+    args.iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("uniform")
 }
 
 fn smoke(args: &[String]) {
     const SMOKE_THREADS: usize = 4;
-    const MIN_SPEEDUP: f64 = 1.3;
+    let which = workload_arg(args).to_string();
+    // The uniform floor rose to 1.4x once the deque scheduler landed;
+    // fishbone gates at the old floor — any measurable speedup there is
+    // new, the static splitter starved it entirely.
+    let (min_speedup, default_n) = match which.as_str() {
+        "fishbone" => (1.3, 6_000),
+        _ => (1.4, 20_000),
+    };
     let n: usize = args
         .iter()
         .skip_while(|a| *a != "--smoke")
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
+        .unwrap_or(default_n);
     let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    let (t1, tp) = measure_speedup(n, SMOKE_THREADS, 17);
+    let w = workloads::by_name(&which, n, 17);
+    let (t1, tp) = measure_speedup_workload(&w, SMOKE_THREADS);
     let ratio = t1 / tp;
     println!(
-        "E-speedup smoke: n={n}, T1={t1:.0} ms, T{SMOKE_THREADS}={tp:.0} ms, \
-         speedup {ratio:.2}x (hardware threads: {hw})"
+        "E-speedup smoke [{}]: n={}, T1={t1:.0} ms, T{SMOKE_THREADS}={tp:.0} ms, \
+         speedup {ratio:.2}x (hardware threads: {hw})",
+        w.name,
+        w.graph.n()
     );
+    let suffix = if which == "uniform" { String::new() } else { format!("_{which}") };
+    BenchRecord {
+        experiment: format!("speedup_smoke{suffix}"),
+        workload: w.name.clone(),
+        n: w.graph.n(),
+        m: w.graph.m(),
+        runs: vec![(1, t1), (SMOKE_THREADS, tp)],
+        metered_queries: metered_exact_queries(&w.graph),
+        speedup: ratio,
+        extra: vec![("hardware_threads".into(), hw as f64)],
+    }
+    .write_and_announce();
     if hw >= SMOKE_THREADS {
         assert!(
-            ratio >= MIN_SPEEDUP,
-            "speedup {ratio:.2}x at {SMOKE_THREADS} threads is below the \
-             {MIN_SPEEDUP}x gate (T1={t1:.0} ms, Tp={tp:.0} ms, n={n})"
+            ratio >= min_speedup,
+            "[{}] speedup {ratio:.2}x at {SMOKE_THREADS} threads is below the \
+             {min_speedup}x gate (T1={t1:.0} ms, Tp={tp:.0} ms)",
+            w.name
         );
-        println!("PASS: speedup >= {MIN_SPEEDUP}x");
+        println!("PASS: speedup >= {min_speedup}x");
     } else {
         println!(
             "SKIPPED assertion: fewer than {SMOKE_THREADS} hardware threads; \

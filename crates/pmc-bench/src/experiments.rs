@@ -229,41 +229,81 @@ fn timed_exact(g: &Graph, p: usize) -> (f64, u64) {
     })
 }
 
-/// E-speedup — Brent scheduling: wall time of the exact pipeline as the
-/// thread count grows. The baseline is an *explicit* `p = 1` run (best
-/// of two, to damp noise and warm caches), independent of whatever the
-/// `threads` list starts with; the cut value must agree across all
-/// thread counts.
-pub fn run_speedup(n: usize, threads: &[usize], seed: u64) -> Table {
-    let w = workloads::non_sparse(n, seed);
-    let g = w.graph;
-    let mut t = Table::new(["threads", "wall ms", "speedup vs p=1"]);
-    let (wall_a, value) = timed_exact(&g, 1);
-    let (wall_b, value_b) = timed_exact(&g, 1);
-    assert_eq!(value, value_b, "exact_mincut value unstable at p=1");
-    let t1 = wall_a.min(wall_b);
-    t.row(["1 (baseline)".to_string(), format!("{t1:.1}"), "1.00x".to_string()]);
-    for &p in threads {
-        let (wall, v) = timed_exact(&g, p);
-        assert_eq!(v, value, "exact_mincut value changed at p={p}");
-        t.row([p.to_string(), format!("{wall:.1}"), format!("{:.2}x", t1 / wall)]);
-    }
-    t
+/// Metered cut-query count of one exact solve (the "metered queries"
+/// field of the recorded benchmark trajectory).
+pub fn metered_exact_queries(g: &Graph) -> u64 {
+    let meter = Meter::enabled();
+    let r = exact_mincut_metered(g, &ExactParams::default(), &meter);
+    assert!(r.cut.value > 0);
+    meter.report().work_of(CostKind::CutQuery)
 }
 
-/// E-speedup smoke probe: best-of-three `T_1` and `T_p` on the
-/// non-sparse workload (minimum over repeats damps shared-runner
-/// noise, which a single sample would turn into a flaky CI gate), with
-/// the cut-value agreement check. Returns `(t1 ms, tp ms)`.
-pub fn measure_speedup(n: usize, p: usize, seed: u64) -> (f64, f64) {
-    const SAMPLES: usize = 3;
+/// The measured E-speedup scaling curve (wall per thread count plus the
+/// metered query count), the data behind both the printed table and the
+/// `BENCH_speedup*.json` records.
+#[derive(Debug, Clone)]
+pub struct SpeedupCurve {
+    pub workload: String,
+    pub n: usize,
+    pub m: usize,
+    /// `(threads, wall ms)`; the first entry is the `p = 1` baseline.
+    pub runs: Vec<(usize, f64)>,
+    pub queries: u64,
+    pub value: u64,
+}
+
+impl SpeedupCurve {
+    /// Wall speedup of the last (widest) run over the 1-thread baseline.
+    pub fn final_speedup(&self) -> f64 {
+        self.runs[0].1 / self.runs.last().unwrap().1
+    }
+}
+
+/// Measure the scaling curve on one workload. The baseline is an
+/// *explicit* `p = 1` run (best of two, to damp noise and warm
+/// caches), independent of whatever the `threads` list starts with;
+/// the cut value must agree across all thread counts.
+pub fn measure_speedup_curve(w: &workloads::Workload, threads: &[usize]) -> SpeedupCurve {
+    let g = &w.graph;
+    let (wall_a, value) = timed_exact(g, 1);
+    let (wall_b, value_b) = timed_exact(g, 1);
+    assert_eq!(value, value_b, "exact_mincut value unstable at p=1");
+    let mut runs = vec![(1usize, wall_a.min(wall_b))];
+    for &p in threads {
+        let (wall, v) = timed_exact(g, p);
+        assert_eq!(v, value, "exact_mincut value changed at p={p}");
+        runs.push((p, wall));
+    }
+    let queries = metered_exact_queries(g);
+    SpeedupCurve { workload: w.name.clone(), n: g.n(), m: g.m(), runs, queries, value }
+}
+
+/// E-speedup — Brent scheduling: wall time of the exact pipeline as the
+/// thread count grows, on the uniform non-sparse workload.
+pub fn run_speedup(n: usize, threads: &[usize], seed: u64) -> (Table, SpeedupCurve) {
     let w = workloads::non_sparse(n, seed);
-    let g = w.graph;
+    let curve = measure_speedup_curve(&w, threads);
+    let mut t = Table::new(["threads", "wall ms", "speedup vs p=1"]);
+    let t1 = curve.runs[0].1;
+    t.row(["1 (baseline)".to_string(), format!("{t1:.1}"), "1.00x".to_string()]);
+    for &(p, wall) in &curve.runs[1..] {
+        t.row([p.to_string(), format!("{wall:.1}"), format!("{:.2}x", t1 / wall)]);
+    }
+    (t, curve)
+}
+
+/// E-speedup smoke probe: best-of-three `T_1` and `T_p` on the given
+/// workload (minimum over repeats damps shared-runner noise, which a
+/// single sample would turn into a flaky CI gate), with the cut-value
+/// agreement check. Returns `(t1 ms, tp ms)`.
+pub fn measure_speedup_workload(w: &workloads::Workload, p: usize) -> (f64, f64) {
+    const SAMPLES: usize = 3;
+    let g = &w.graph;
     let best = |threads: usize| -> (f64, u64) {
         let mut wall = f64::INFINITY;
         let mut value = None;
         for _ in 0..SAMPLES {
-            let (w_ms, v) = timed_exact(&g, threads);
+            let (w_ms, v) = timed_exact(g, threads);
             assert_eq!(
                 *value.get_or_insert(v),
                 v,
@@ -277,6 +317,11 @@ pub fn measure_speedup(n: usize, p: usize, seed: u64) -> (f64, f64) {
     let (tp, vp) = best(p);
     assert_eq!(v1, vp, "exact_mincut value must not depend on the thread count");
     (t1, tp)
+}
+
+/// [`measure_speedup_workload`] on the uniform non-sparse workload.
+pub fn measure_speedup(n: usize, p: usize, seed: u64) -> (f64, f64) {
+    measure_speedup_workload(&workloads::non_sparse(n, seed), p)
 }
 
 /// One measured pass of the `E-amortize` probe.
@@ -399,12 +444,26 @@ pub fn run_amortize(sizes: &[usize], seed: u64) -> Table {
     t
 }
 
+/// Headline numbers of one E-ablate run: the default variant against
+/// the naive all-pairs baseline (the pair the recorded trajectory
+/// tracks).
+#[derive(Debug, Clone)]
+pub struct AblationSummary {
+    pub n: usize,
+    pub m: usize,
+    /// Wall and metered cut queries of the default variant.
+    pub default_wall_ms: f64,
+    pub default_queries: u64,
+    /// Wall of the naive all-pairs baseline.
+    pub naive_wall_ms: f64,
+}
+
 /// E-ablate — design ablations on one fixed workload: interest-search
 /// decomposition strategy (centroid vs heavy-path, metered side by
 /// side), path decomposition, Monge engine, ε, and the no-filter
 /// baseline. The `interest qs` column isolates the cut/coverage
 /// queries the arm tracing issues — the quantity Claim 4.13 bounds.
-pub fn run_ablation(n: usize, seed: u64) -> Table {
+pub fn run_ablation(n: usize, seed: u64) -> (Table, AblationSummary) {
     let (g, tree_edges) = workloads::graph_with_tree(n, 0.5, seed);
     let tree = RootedTree::from_edge_list(g.n(), &tree_edges, 0);
     let mut t = Table::new([
@@ -416,7 +475,7 @@ pub fn run_ablation(n: usize, seed: u64) -> Table {
         "wall ms",
     ]);
     let reference = naive_value(&g, &tree);
-    let mut run = |name: &str, params: TwoRespectParams| {
+    let mut run = |name: &str, params: TwoRespectParams| -> (f64, u64) {
         let meter = Meter::enabled();
         let t0 = Instant::now();
         let out = two_respecting_mincut(&g, &tree, &params, &meter);
@@ -431,8 +490,10 @@ pub fn run_ablation(n: usize, seed: u64) -> Table {
             fmt_count(rep.total_work()),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
         ]);
+        (wall.as_secs_f64() * 1e3, rep.work_of(CostKind::CutQuery))
     };
-    run("centroid interest + SMAWK (default)", TwoRespectParams::default());
+    let (default_wall_ms, default_queries) =
+        run("centroid interest + SMAWK (default)", TwoRespectParams::default());
     run(
         "heavy-path interest + SMAWK",
         TwoRespectParams {
@@ -454,7 +515,7 @@ pub fn run_ablation(n: usize, seed: u64) -> Table {
     run("eps = 0.10", TwoRespectParams { eps: 0.10, ..TwoRespectParams::default() });
     run("eps = 0.75", TwoRespectParams { eps: 0.75, ..TwoRespectParams::default() });
     // The no-structure baseline.
-    {
+    let naive_wall_ms = {
         let meter = Meter::enabled();
         let t0 = Instant::now();
         let out = naive_two_respecting(&g, &tree, 0.25, &meter);
@@ -469,8 +530,11 @@ pub fn run_ablation(n: usize, seed: u64) -> Table {
             fmt_count(rep.total_work()),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
         ]);
-    }
-    t
+        wall.as_secs_f64() * 1e3
+    };
+    let summary =
+        AblationSummary { n: g.n(), m: g.m(), default_wall_ms, default_queries, naive_wall_ms };
+    (t, summary)
 }
 
 fn naive_value(g: &Graph, tree: &RootedTree) -> u64 {
@@ -544,8 +608,22 @@ mod tests {
 
     #[test]
     fn ablation_runs_and_agrees() {
-        let t = run_ablation(48, 5);
+        let (t, summary) = run_ablation(48, 5);
         assert_eq!(t.len(), 7);
+        assert_eq!(summary.n, 48);
+        assert!(summary.default_wall_ms > 0.0 && summary.naive_wall_ms > 0.0);
+        assert!(summary.default_queries > 0);
+    }
+
+    #[test]
+    fn speedup_curve_has_baseline_and_queries() {
+        let w = workloads::non_sparse(64, 9);
+        let curve = measure_speedup_curve(&w, &[2]);
+        assert_eq!(curve.runs[0].0, 1, "first entry is the p=1 baseline");
+        assert_eq!(curve.runs.len(), 2);
+        assert!(curve.queries > 0);
+        assert!(curve.final_speedup() > 0.0);
+        assert_eq!(curve.n, 64);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! Criterion micro-benches. Results print as aligned text tables so
 //! `EXPERIMENTS.md` can quote them directly.
 
+pub mod bench_json;
 pub mod experiments;
 pub mod table;
 pub mod workloads;
 
+pub use bench_json::BenchRecord;
 pub use table::Table;

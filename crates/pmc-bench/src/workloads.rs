@@ -50,6 +50,46 @@ pub fn heavy(n: usize, seed: u64) -> Workload {
     Workload { name: format!("heavy n={n}"), graph }
 }
 
+/// Fishbone skew adversary (`generators::fishbone` with extra random
+/// chords): the comb structure makes the solver's recursion trees
+/// maximally lopsided, so a static left/right work splitter strands
+/// whole subproblems on one thread — the workload the work-stealing
+/// speedup smoke gates on. `levels` is chosen so `n = 3·2^levels − 2`
+/// is the largest fishbone not exceeding the requested size; the
+/// chords keep the graph non-sparse enough that the parallel query
+/// stages dominate the wall clock.
+pub fn fishbone(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels = (usize::BITS - 1 - n.max(10).div_ceil(3).leading_zeros()) as usize;
+    let (bone, _, _) = generators::fishbone(levels.max(2), 64);
+    let nn = bone.n();
+    // Re-densify: the bare fishbone is a tree + one chord; add random
+    // chords so the per-edge query work is non-trivial while the skewed
+    // comb shape (and hence the skewed recursion) is preserved.
+    let mut b = pmc_graph::GraphBuilder::new(nn);
+    for e in bone.edges() {
+        b.add_edge(e.u, e.v, e.w);
+    }
+    use rand::Rng;
+    for _ in 0..4 * nn {
+        let u = rng.random_range(0..nn as u32);
+        let v = rng.random_range(0..nn as u32);
+        if u != v {
+            b.add_edge(u, v, rng.random_range(1..8));
+        }
+    }
+    Workload { name: format!("fishbone n={nn}"), graph: b.build() }
+}
+
+/// Resolve a smoke-workload name (`uniform` or `fishbone`) at size `n`.
+pub fn by_name(name: &str, n: usize, seed: u64) -> Workload {
+    match name {
+        "uniform" => non_sparse(n, seed),
+        "fishbone" => fishbone(n, seed),
+        other => panic!("unknown workload {other:?} (expected: uniform, fishbone)"),
+    }
+}
+
 /// A uniform random spanning tree workload for per-tree experiments:
 /// returns `(graph, tree edge list)`.
 pub fn graph_with_tree(n: usize, density: f64, seed: u64) -> (Graph, Vec<(u32, u32)>) {
@@ -73,10 +113,32 @@ mod tests {
 
     #[test]
     fn workloads_connected() {
-        for w in [non_sparse(64, 1), sparse(64, 2), dense(32, 3), planted(40, 3, 4), heavy(24, 5)]
-        {
+        for w in [
+            non_sparse(64, 1),
+            sparse(64, 2),
+            dense(32, 3),
+            planted(40, 3, 4),
+            heavy(24, 5),
+            fishbone(100, 6),
+        ] {
             assert!(w.graph.is_connected(), "{}", w.name);
         }
+    }
+
+    #[test]
+    fn fishbone_size_and_lookup() {
+        let w = fishbone(1000, 1);
+        // Largest 3·2^levels − 2 not exceeding ~n: levels=8 → 766.
+        assert_eq!(w.graph.n(), 766);
+        assert!(w.graph.m() > 2 * w.graph.n(), "chords keep it non-sparse");
+        assert_eq!(by_name("fishbone", 1000, 1).graph.n(), 766);
+        assert_eq!(by_name("uniform", 64, 2).graph.n(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_workload_name_panics() {
+        by_name("nope", 10, 0);
     }
 
     #[test]

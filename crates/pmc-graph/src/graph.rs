@@ -168,16 +168,29 @@ impl Graph {
     }
 
     /// Merge parallel edges, summing weights. The result is a simple
-    /// weighted graph with the same cut structure.
+    /// weighted graph with the same cut structure, edges sorted by
+    /// normalized endpoint pair.
+    ///
+    /// Sort-and-merge over packed `(min << 32) | max` keys: two flat
+    /// buffer passes instead of a hash map, so the merge is a sort of
+    /// `m` machine words plus one linear scan.
     pub fn coalesced(&self) -> Graph {
-        use std::collections::HashMap;
-        let mut acc: HashMap<(VertexId, VertexId), u64> = HashMap::with_capacity(self.m());
-        for e in &self.edges {
-            let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
-            *acc.entry(key).or_insert(0) += e.w;
+        let mut keyed: Vec<(u64, u64)> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let (a, b) = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+                (((a as u64) << 32) | b as u64, e.w)
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let mut list: Vec<(VertexId, VertexId, u64)> = Vec::with_capacity(keyed.len());
+        for (k, w) in keyed {
+            match list.last_mut() {
+                Some(last) if (((last.0 as u64) << 32) | last.1 as u64) == k => last.2 += w,
+                _ => list.push(((k >> 32) as VertexId, k as VertexId, w)),
+            }
         }
-        let mut list: Vec<_> = acc.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-        list.sort_unstable();
         Graph::from_edges(self.n, list)
     }
 }

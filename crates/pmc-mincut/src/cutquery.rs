@@ -142,16 +142,60 @@ impl<'a> CutQuery<'a> {
         &self.cov
     }
 
-    /// Batched coverage lookup over a slice of tree edges.
+    /// Batched coverage lookup over a slice of tree edges — a parallel
+    /// gather from the flat coverage arena.
     pub fn cov_batch(&self, es: &[u32]) -> Vec<u64> {
-        es.iter().map(|&v| self.cov(v)).collect()
+        es.par_iter().map(|&v| self.cov(v)).collect()
     }
 
-    /// Batched cut queries: one parallel pass over a pair slice,
-    /// deterministic output order. `e == f` entries degenerate to the
-    /// 1-respecting value, mirroring [`CutQuery::cut`].
+    /// Batched cut queries, deterministic output order. `e == f`
+    /// entries degenerate to the 1-respecting value, mirroring
+    /// [`CutQuery::cut`].
+    ///
+    /// Large batches are radix-grouped on the packed `(e, f)` key so
+    /// duplicate pairs — common when many clients probe the same hot
+    /// cuts — are evaluated once and scattered back to every requester;
+    /// the meter consequently counts *distinct* queries. Small batches
+    /// skip the grouping pass and map directly.
     pub fn cut_batch(&self, pairs: &[(u32, u32)], meter: &Meter) -> Vec<u64> {
-        pairs.par_iter().map(|&(e, f)| self.cut(e, f, meter)).collect()
+        /// Below this size the sort costs more than duplicate probes.
+        const GROUP_CUTOFF: usize = 64;
+        if pairs.len() < GROUP_CUTOFF {
+            return pairs.par_iter().map(|&(e, f)| self.cut(e, f, meter)).collect();
+        }
+        // Tag each pair with its slot, sort by the packed key, then
+        // evaluate one representative per run of equal keys.
+        let mut keyed: Vec<(u64, u32)> = pairs
+            .par_iter()
+            .enumerate()
+            .map(|(i, &(e, f))| (((e as u64) << 32) | f as u64, i as u32))
+            .collect();
+        pmc_parallel::sort::radix_sort_lsd(&mut keyed, |&(k, _)| k);
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < keyed.len() {
+            let mut j = i + 1;
+            while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                j += 1;
+            }
+            runs.push((i, j));
+            i = j;
+        }
+        let keyed = &keyed;
+        let values: Vec<u64> = runs
+            .par_iter()
+            .map(|&(lo, _)| {
+                let key = keyed[lo].0;
+                self.cut((key >> 32) as u32, key as u32, meter)
+            })
+            .collect();
+        let mut out = vec![0u64; pairs.len()];
+        for (&(lo, hi), value) in runs.iter().zip(values) {
+            for &(_, slot) in &keyed[lo..hi] {
+                out[slot as usize] = value;
+            }
+        }
+        out
     }
 
     /// Rectangle sum over `[x1,x2] x [y1,y2]` (inclusive; empty if
@@ -401,6 +445,32 @@ mod tests {
                 assert_eq!(q.cut(e, f, &m), 10, "two path edges sever 10");
             }
         }
+    }
+
+    /// Grouped batches (above the dedup cutoff, with duplicates) must
+    /// return exactly the per-pair values in slot order, and evaluate
+    /// duplicates once.
+    #[test]
+    fn cut_batch_grouping_matches_individual_probes() {
+        let mut rng = StdRng::seed_from_u64(108);
+        let g = generators::gnm_connected(30, 80, 6, &mut rng);
+        let t = spanning_tree_of(&g, 0);
+        let lca = LcaTable::build(&t);
+        let q = CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
+        let m = Meter::disabled();
+        // 300 pairs cycling over 25 distinct ones: plenty of duplicates.
+        let pairs: Vec<(u32, u32)> =
+            (0..300u32).map(|i| (1 + (i * 7) % 25, 1 + (i * 11) % 25)).collect();
+        let batch = q.cut_batch(&pairs, &m);
+        for (i, &(e, f)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], q.cut(e, f, &m), "slot {i} pair ({e},{f})");
+        }
+        // The meter sees one CutQuery per distinct (ordered) pair.
+        let distinct: std::collections::HashSet<(u32, u32)> =
+            pairs.iter().copied().filter(|&(e, f)| e != f).collect();
+        let meter = Meter::enabled();
+        let _ = q.cut_batch(&pairs, &meter);
+        assert_eq!(meter.get(CostKind::CutQuery), distinct.len() as u64);
     }
 
     #[test]

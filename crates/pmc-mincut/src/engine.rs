@@ -6,12 +6,17 @@
 //! * **graph-lifetime** ([`GraphContext`]): the coalesced graph,
 //!   component labels / connectivity, weighted degrees and the
 //!   min-degree fallback cut. Built once per graph, valid for every
-//!   packed tree and every repeated solve.
+//!   packed tree and every repeated solve. Coalescing is the flat
+//!   sort-and-merge of [`Graph::coalesced`] — no hash map on the build
+//!   path.
 //! * **tree-lifetime** ([`TreeContext`]): the rooted tree, its LCA
 //!   table, the 2m-point cut-query structure of Lemma A.1, the
 //!   Property 4.3 path decomposition, and the interest-search engine of
 //!   Claim 4.13. Built once per packed tree; the postorder-dependent
-//!   state lives here and nowhere else.
+//!   state lives here and nowhere else. The range trees underneath the
+//!   cut-query structure store all levels in contiguous CSR-style
+//!   arenas (flat `Vec` + offsets), so the per-query level walks touch
+//!   a handful of contiguous buffers.
 //!
 //! Inside [`TreeContext::build`] the mutually independent sub-builds
 //! fork under `rayon::join`: the LCA table feeds the coverage array

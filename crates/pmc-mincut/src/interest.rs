@@ -104,8 +104,12 @@ pub trait DecompositionStrategy: Sync {
 
 /// Heavy-path descent (DESIGN.md §2): `O(log² n)` cut queries per arm.
 pub struct HeavyPathDescent {
-    /// Heavy chains: vertices listed top to bottom.
-    chains: Vec<Vec<u32>>,
+    /// Heavy chains flattened CSR-style: chain `c` is
+    /// `chain_nodes[chain_offsets[c]..chain_offsets[c + 1]]`, vertices
+    /// listed top to bottom (every vertex is on exactly one chain, so
+    /// the node arena has exactly `n` entries).
+    chain_nodes: Vec<u32>,
+    chain_offsets: Vec<u32>,
     chain_of: Vec<u32>,
     chain_pos: Vec<u32>,
 }
@@ -116,27 +120,37 @@ impl HeavyPathDescent {
         meter.add(CostKind::TreeOp, n as u64);
         let mut chain_of = vec![u32::MAX; n];
         let mut chain_pos = vec![u32::MAX; n];
-        let mut chains = Vec::new();
+        let mut chain_nodes = Vec::with_capacity(n);
+        let mut chain_offsets = vec![0u32];
         for v in 0..n as u32 {
             let is_head = v == tree.root()
                 || tree.heavy_child(tree.parent(v)) != Some(v);
             if !is_head {
                 continue;
             }
-            let mut chain = vec![v];
+            let id = chain_offsets.len() as u32 - 1;
+            let start = chain_nodes.len();
+            chain_nodes.push(v);
             let mut cur = v;
             while let Some(h) = tree.heavy_child(cur) {
-                chain.push(h);
+                chain_nodes.push(h);
                 cur = h;
             }
-            let id = chains.len() as u32;
-            for (i, &x) in chain.iter().enumerate() {
+            for (i, &x) in chain_nodes[start..].iter().enumerate() {
                 chain_of[x as usize] = id;
                 chain_pos[x as usize] = i as u32;
             }
-            chains.push(chain);
+            chain_offsets.push(chain_nodes.len() as u32);
         }
-        HeavyPathDescent { chains, chain_of, chain_pos }
+        HeavyPathDescent { chain_nodes, chain_offsets, chain_of, chain_pos }
+    }
+
+    /// One heavy chain as a slice of the flat node arena.
+    #[inline]
+    fn chain(&self, id: u32) -> &[u32] {
+        let lo = self.chain_offsets[id as usize] as usize;
+        let hi = self.chain_offsets[id as usize + 1] as usize;
+        &self.chain_nodes[lo..hi]
     }
 }
 
@@ -161,7 +175,7 @@ impl DecompositionStrategy for HeavyPathDescent {
             exclude = None;
             // Binary search the deepest interesting edge on c's heavy
             // chain (interest is monotone along the vertical chain).
-            let chain = &self.chains[self.chain_of[c as usize] as usize];
+            let chain = self.chain(self.chain_of[c as usize]);
             let k = self.chain_pos[c as usize] as usize;
             let (mut lo, mut hi) = (k, chain.len() - 1);
             while lo < hi {

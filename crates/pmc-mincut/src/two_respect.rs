@@ -228,7 +228,7 @@ fn cross_path_minimum(
             (((a as u64) << 32) | b as u64, side, e)
         })
         .collect();
-    keyed.par_sort_unstable_by_key(|&(pair, side, e)| (pair, side, decomp.pos_of(e), e));
+    sort_join_keys(&mut keyed, decomp, n);
 
     // Contiguous runs of one pair id = one join group.
     let mut jobs: Vec<(usize, usize)> = Vec::new();
@@ -258,6 +258,28 @@ fn cross_path_minimum(
             pair_minimum(q, &r, &s, algo, meter)
         })
         .reduce(|| Best::NONE, Best::min)
+}
+
+/// Sort the symmetric-join tuples into `(pair, side, pos_of(e), e)`
+/// order with a two-word parallel LSD radix sort: the high word is the
+/// packed path-pair id, the low word packs `(side, position, edge)` —
+/// the paper's "(path-id, position)" key — so no comparisons happen on
+/// the hot path. Positions and edge ids are `< n < 2^31`, so the low
+/// word is exact; the (untestable in practice) wider case falls back to
+/// the comparison sort, whose order the radix path reproduces
+/// bit-identically — see `radix_join_order_matches_comparison_sort`.
+fn sort_join_keys(keyed: &mut Vec<(u64, u32, u32)>, decomp: &PathDecomposition, n: usize) {
+    if (n as u64) < (1 << 31) {
+        pmc_parallel::sort::radix_sort_by_key2(
+            keyed,
+            |&(pair, _, _)| pair,
+            |&(_, side, e)| {
+                ((side as u64) << 63) | ((decomp.pos_of(e) as u64) << 32) | e as u64
+            },
+        );
+    } else {
+        keyed.par_sort_unstable_by_key(|&(pair, side, e)| (pair, side, decomp.pos_of(e), e));
+    }
 }
 
 /// Minimum over `r x s` where `r`, `s` are vertical chains from two
@@ -508,6 +530,42 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// The radix join sort must reproduce the pre-refactor comparison
+    /// sort bit-identically — same `(pair, side, pos, e)` order, hence
+    /// the same jobs, metered counts, and witness pair.
+    #[test]
+    fn radix_join_order_matches_comparison_sort() {
+        let mut rng = StdRng::seed_from_u64(406);
+        for trial in 0..8 {
+            let n = 40 + trial * 17;
+            let g = generators::gnm_connected(n, 4 * n, 11, &mut rng);
+            let t = spanning_tree_of(&g, 0);
+            let m = Meter::disabled();
+            let decomp = PathDecomposition::build(&t, PathStrategy::HeavyPath, &m);
+            // Synthesize join tuples covering every (pair, side, pos, e)
+            // dimension: every ordered pair of paths, every edge of the
+            // first path.
+            let mut keyed: Vec<(u64, u32, u32)> = Vec::new();
+            for p in 0..decomp.num_paths() as u32 {
+                for q in 0..decomp.num_paths() as u32 {
+                    if p == q {
+                        continue;
+                    }
+                    let (a, b, side) = if p < q { (p, q, 0u32) } else { (q, p, 1u32) };
+                    for &e in decomp.path(p) {
+                        keyed.push((((a as u64) << 32) | b as u64, side, e));
+                    }
+                }
+            }
+            let mut expect = keyed.clone();
+            expect.sort_unstable_by_key(|&(pair, side, e)| {
+                (pair, side, decomp.pos_of(e), e)
+            });
+            sort_join_keys(&mut keyed, &decomp, n);
+            assert_eq!(keyed, expect, "trial {trial} (n={n})");
         }
     }
 

@@ -22,6 +22,11 @@ const BUCKETS: usize = 1 << RADIX_BITS;
 const SEQ_CUTOFF: usize = 1 << 13;
 
 /// Sort `items` ascending by `key(item)`.
+///
+/// Equal keys land in input order on the radix path but the small-`n`
+/// fallback is `sort_unstable_by_key`; use [`radix_sort_lsd`] when
+/// stability must hold at every size (e.g. as a pass of a multi-word
+/// key sort).
 pub fn radix_sort_by_key<T, F>(items: &mut Vec<T>, key: F)
 where
     T: Copy + Send + Sync + Default,
@@ -35,7 +40,54 @@ where
         items.sort_unstable_by_key(|it| key(it));
         return;
     }
-    let max_key = items.par_iter().map(&key).max().unwrap_or(0);
+    radix_passes(items, &key);
+}
+
+/// Stable parallel LSD radix sort: equal keys keep their input order at
+/// *every* size (the small-`n` fallback is the stable `sort_by_key`).
+///
+/// This is the primitive the engine's symmetric join sorts with, and —
+/// because LSD passes compose — the building block of
+/// [`radix_sort_by_key2`] for keys wider than one word.
+pub fn radix_sort_lsd<T, F>(items: &mut Vec<T>, key: F)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    if n < SEQ_CUTOFF {
+        items.sort_by_key(|it| key(it));
+        return;
+    }
+    radix_passes(items, &key);
+}
+
+/// Sort ascending by the composite key `(hi(item), lo(item))` — a
+/// 128-bit key as two stable LSD word passes: sorting by `lo` first and
+/// then stably by `hi` yields the lexicographic `(hi, lo)` order.
+pub fn radix_sort_by_key2<T, FH, FL>(items: &mut Vec<T>, hi: FH, lo: FL)
+where
+    T: Copy + Send + Sync + Default,
+    FH: Fn(&T) -> u64 + Sync + Send,
+    FL: Fn(&T) -> u64 + Sync + Send,
+{
+    radix_sort_lsd(items, lo);
+    radix_sort_lsd(items, hi);
+}
+
+/// The counting-sort-per-byte pass loop shared by the entry points.
+/// Stable: within a pass, chunk-major exclusive offsets preserve input
+/// order inside each bucket.
+fn radix_passes<T, F>(items: &mut Vec<T>, key: &F)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    let n = items.len();
+    let max_key = items.par_iter().map(key).max().unwrap_or(0);
     let passes = if max_key == 0 {
         1
     } else {
@@ -158,6 +210,33 @@ mod tests {
         radix_sort_by_key(&mut v, |&(k, _)| k);
         // Stability: payloads remain in original order.
         assert!(v.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn lsd_is_stable_at_every_size() {
+        // Below the sequential cutoff the fallback must be the *stable*
+        // std sort — the property radix_sort_by_key2 composes on.
+        for n in [0usize, 1, 5, 100, 5_000, 20_000] {
+            let mut v: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 7, i)).collect();
+            radix_sort_lsd(&mut v, |&(k, _)| k);
+            assert!(
+                v.windows(2).all(|w| w[0].0 < w[1].0
+                    || (w[0].0 == w[1].0 && w[0].1 < w[1].1)),
+                "n={n}: equal keys must keep input order"
+            );
+        }
+    }
+
+    #[test]
+    fn composite_key_matches_comparison_sort() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<(u64, u64, u64)> = (0..60_000u64)
+            .map(|i| (rng.random_range(0..50), rng.random_range(0..u64::MAX), i))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_by_key(|&(h, l, _)| (h, l));
+        radix_sort_by_key2(&mut v, |&(h, _, _)| h, |&(_, l, _)| l);
+        assert_eq!(v, expect);
     }
 
     #[test]

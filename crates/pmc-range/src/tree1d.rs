@@ -13,14 +13,23 @@ use pmc_parallel::sort::radix_sort_by_key;
 use rayon::prelude::*;
 
 /// Complete d-ary weight tree over sorted 1-D points.
+///
+/// All levels live in one contiguous node arena (CSR-style: a flat
+/// `Vec` plus per-level offsets) rather than one allocation per level,
+/// so the bottom-up prefix walk touches a single cache-friendly
+/// buffer.
 #[derive(Debug, Clone)]
 pub struct WeightTree1D {
     degree: usize,
     /// Sorted point coordinates (leaf keys).
     xs: Vec<u32>,
-    /// `levels[0]` = leaf weights; `levels[k+1][i]` = sum of the up-to-`d`
-    /// children `levels[k][i*d .. (i+1)*d]`.
-    levels: Vec<Vec<u64>>,
+    /// Node weights of every level, leaves first: level `k` occupies
+    /// `nodes[level_offsets[k]..level_offsets[k + 1]]`, and
+    /// `level(k+1)[i]` = sum of the up-to-`d` children
+    /// `level(k)[i*d .. (i+1)*d]`.
+    nodes: Vec<u64>,
+    /// `height() + 1` entries; the last is `nodes.len()`.
+    level_offsets: Vec<usize>,
 }
 
 impl WeightTree1D {
@@ -34,17 +43,44 @@ impl WeightTree1D {
         assert!(degree >= 2);
         radix_sort_by_key(&mut points, |p| p.x as u64);
         let xs: Vec<u32> = points.iter().map(|p| p.x).collect();
-        let base: Vec<u64> = points.iter().map(|p| p.w).collect();
-        meter.add(CostKind::RangeNode, base.len() as u64);
-        let mut levels = vec![base];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let next: Vec<u64> =
-                prev.par_chunks(degree).map(|c| c.iter().sum::<u64>()).collect();
-            meter.add(CostKind::RangeNode, next.len() as u64);
-            levels.push(next);
+        // Level widths are known up front, so the whole arena is
+        // allocated once and filled level by level in place.
+        let mut widths = vec![points.len()];
+        while *widths.last().unwrap() > 1 {
+            widths.push(widths.last().unwrap().div_ceil(degree));
         }
-        WeightTree1D { degree, xs, levels }
+        let mut level_offsets = Vec::with_capacity(widths.len() + 1);
+        let mut acc = 0usize;
+        level_offsets.push(0);
+        for &w in &widths {
+            acc += w;
+            level_offsets.push(acc);
+        }
+        let mut nodes = vec![0u64; acc];
+        for (slot, p) in nodes.iter_mut().zip(&points) {
+            *slot = p.w;
+        }
+        meter.add(CostKind::RangeNode, points.len() as u64);
+        for k in 0..widths.len() - 1 {
+            // The split keeps the borrow checker honest: `prev` is the
+            // completed level `k`, `next` the uninitialized level `k+1`.
+            let (done, rest) = nodes.split_at_mut(level_offsets[k + 1]);
+            let prev = &done[level_offsets[k]..];
+            let next = &mut rest[..widths[k + 1]];
+            next.par_iter_mut().enumerate().for_each(|(i, slot)| {
+                let lo = i * degree;
+                let hi = (lo + degree).min(prev.len());
+                *slot = prev[lo..hi].iter().sum();
+            });
+            meter.add(CostKind::RangeNode, widths[k + 1] as u64);
+        }
+        WeightTree1D { degree, xs, nodes, level_offsets }
+    }
+
+    /// The nodes of one level as a slice of the arena.
+    #[inline]
+    fn level(&self, k: usize) -> &[u64] {
+        &self.nodes[self.level_offsets[k]..self.level_offsets[k + 1]]
     }
 
     pub fn len(&self) -> usize {
@@ -61,11 +97,11 @@ impl WeightTree1D {
 
     /// Number of levels (`O(log n / log degree) = O(1/ε)`).
     pub fn height(&self) -> usize {
-        self.levels.len()
+        self.level_offsets.len() - 1
     }
 
     pub fn total(&self) -> u64 {
-        self.levels.last().map_or(0, |l| l.first().copied().unwrap_or(0))
+        self.level(self.height() - 1).first().copied().unwrap_or(0)
     }
 
     /// Sum of weights of points with coordinate in `[x1, x2]`.
@@ -98,18 +134,17 @@ impl WeightTree1D {
         }
         let mut sum = 0u64;
         let mut node = 0usize; // index at the current level
-        for level in (1..self.levels.len()).rev() {
+        for level in (1..self.height()).rev() {
             // Children of `node` live at level-1, indices node*d ..
+            let children = self.level(level - 1);
             let child_base = node * self.degree;
             // Width (leaf count) of one child at this level.
             let child_width = self.degree.pow((level - 1) as u32);
             let full = (k - node_leaf_start(node, level, self.degree)) / child_width;
             let lo = child_base;
-            let hi = (child_base + full).min(self.levels[level - 1].len());
+            let hi = (child_base + full).min(children.len());
             meter.add(CostKind::RangeNode, (hi - lo) as u64 + 1);
-            for i in lo..hi {
-                sum += self.levels[level - 1][i];
-            }
+            sum += children[lo..hi].iter().sum::<u64>();
             node = child_base + full;
         }
         sum

@@ -18,30 +18,35 @@ use pmc_parallel::meter::{CostKind, Meter};
 use pmc_parallel::sort::radix_sort_by_key;
 use rayon::prelude::*;
 
-/// One level of the x-tree: nodes partition the x-sorted points into
-/// consecutive chunks of `degree^level` leaves; per node we store the
-/// y-sorted keys and prefix weights of its points.
-#[derive(Debug, Clone)]
-struct Level {
-    /// Leaf width of one node at this level.
-    width: usize,
-    /// `ys[node_start(node) .. ]`: y-keys sorted within each node chunk.
-    ys: Vec<u32>,
-    /// Prefix weights *within each node chunk*: `prefix[i]` = sum of
-    /// weights of this chunk's points before in-chunk index `i`; the
-    /// chunk's total sits at its last slot + weight (handled in query).
-    prefix: Vec<u64>,
-    /// Total weight per node (needed because prefix is chunk-local).
-    node_total: Vec<u64>,
-}
-
 /// Static 2-D range-sum structure over weighted grid points.
+///
+/// Every level stores the x-sorted points re-sorted by `(node, y)` plus
+/// chunk-local prefix weights. All levels are concatenated into flat
+/// CSR-style arenas — `ys` and `prefix` hold exactly `len()` entries
+/// per level (level `k` occupies `[k*len(), (k+1)*len())`), while the
+/// variable-width per-node totals carry an explicit offsets vector —
+/// so a query's level walk stays inside three contiguous buffers
+/// instead of hopping across per-level allocations.
 #[derive(Debug, Clone)]
 pub struct RangeTree2D {
     degree: usize,
     /// Points sorted by x (leaf order); `xs[i]` is the x of leaf `i`.
     xs: Vec<u32>,
-    levels: Vec<Level>,
+    /// Leaf width of one node at each level (`degree^level`).
+    widths: Vec<usize>,
+    /// Per-level y-keys sorted within each node chunk, levels
+    /// concatenated (each level is `len()` entries).
+    ys: Vec<u32>,
+    /// Prefix weights *within each node chunk*: at level `k`,
+    /// `prefix[k*len() + i]` = sum of weights of that chunk's points
+    /// before in-chunk index `i`; the chunk's total sits at its last
+    /// slot + weight (handled in query).
+    prefix: Vec<u64>,
+    /// Total weight per node (needed because prefix is chunk-local);
+    /// level `k` occupies
+    /// `node_total[node_total_offsets[k]..node_total_offsets[k + 1]]`.
+    node_total: Vec<u64>,
+    node_total_offsets: Vec<usize>,
 }
 
 impl RangeTree2D {
@@ -65,14 +70,18 @@ impl RangeTree2D {
         let mut indexed: Vec<(u32, Point2)> =
             points.into_iter().enumerate().map(|(i, p)| (i as u32, p)).collect();
         let mut width = 1usize;
-        let mut levels = Vec::new();
+        let mut widths = Vec::new();
+        let mut ys = Vec::new();
+        let mut prefix = Vec::new();
+        let mut node_total = Vec::new();
+        let mut node_total_offsets = vec![0usize];
         loop {
             let num_nodes = m.div_ceil(width).max(1);
             // Sort by (node index, y); one radix pass per level, the
             // parallel analogue of the paper's per-level merges.
             let wl = width as u64;
             radix_sort_by_key(&mut indexed, |&(i, p)| ((i as u64 / wl) << 32) | p.y as u64);
-            let ys: Vec<u32> = indexed.iter().map(|&(_, p)| p.y).collect();
+            ys.extend(indexed.iter().map(|&(_, p)| p.y));
             // Chunk-local prefix sums and per-node totals, in parallel
             // over nodes (chunks are disjoint).
             let prefix_chunks: Vec<(Vec<u64>, u64)> = (0..num_nodes)
@@ -89,20 +98,19 @@ impl RangeTree2D {
                     (pre, acc)
                 })
                 .collect();
-            let mut prefix = Vec::with_capacity(m);
-            let mut node_total = Vec::with_capacity(num_nodes);
             for (pre, total) in prefix_chunks {
                 prefix.extend(pre);
                 node_total.push(total);
             }
+            node_total_offsets.push(node_total.len());
             meter.add(CostKind::RangeNode, m as u64);
-            levels.push(Level { width, ys, prefix, node_total });
+            widths.push(width);
             if num_nodes == 1 {
                 break;
             }
             width *= degree;
         }
-        RangeTree2D { degree, xs, levels }
+        RangeTree2D { degree, xs, widths, ys, prefix, node_total, node_total_offsets }
     }
 
     pub fn len(&self) -> usize {
@@ -118,11 +126,13 @@ impl RangeTree2D {
     }
 
     pub fn height(&self) -> usize {
-        self.levels.len()
+        self.widths.len()
     }
 
     pub fn total(&self) -> u64 {
-        self.levels.last().map_or(0, |l| l.node_total.first().copied().unwrap_or(0))
+        // The top level has exactly one node; its total is the last
+        // entry of the flat per-node-total arena.
+        self.node_total.last().copied().unwrap_or(0)
     }
 
     /// Total weight over a batch of rectangles `(x1, x2, y1, y2)` —
@@ -157,11 +167,11 @@ impl RangeTree2D {
             return 0;
         }
         let mut sum = 0u64;
-        for lvl in 0..self.levels.len() {
+        for lvl in 0..self.widths.len() {
             if lo >= hi {
                 break;
             }
-            let width = self.levels[lvl].width;
+            let width = self.widths[lvl];
             let next = width * self.degree;
             debug_assert!(lo.is_multiple_of(width) && hi.is_multiple_of(width));
             while !lo.is_multiple_of(next) && lo < hi {
@@ -179,11 +189,11 @@ impl RangeTree2D {
 
     /// Interval sum `y in [y1, y2]` inside one node's y-sorted chunk.
     fn aux_sum(&self, lvl: usize, node: usize, y1: u32, y2: u32, meter: &Meter) -> u64 {
-        let level = &self.levels[lvl];
         let m = self.xs.len();
-        let lo = node * level.width;
-        let hi = ((node + 1) * level.width).min(m);
-        let ys = &level.ys[lo..hi];
+        let base = lvl * m; // level `lvl` starts here in `ys`/`prefix`
+        let lo = node * self.widths[lvl];
+        let hi = ((node + 1) * self.widths[lvl]).min(m);
+        let ys = &self.ys[base + lo..base + hi];
         meter.add(CostKind::RangeNode, (usize::BITS - ys.len().leading_zeros()) as u64 + 1);
         let a = ys.partition_point(|&y| y < y1);
         let b = ys.partition_point(|&y| y <= y2);
@@ -191,11 +201,11 @@ impl RangeTree2D {
             return 0;
         }
         let upper = if lo + b == hi {
-            level.node_total[node]
+            self.node_total[self.node_total_offsets[lvl] + node]
         } else {
-            level.prefix[lo + b]
+            self.prefix[base + lo + b]
         };
-        upper - level.prefix[lo + a]
+        upper - self.prefix[base + lo + a]
     }
 }
 

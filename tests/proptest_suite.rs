@@ -287,6 +287,68 @@ proptest! {
         prop_assert_eq!(sorted, expect);
     }
 
+    /// The stable LSD radix sort (the symmetric join's primitive) is
+    /// bit-identical to the stable std sort under forced 1/2/4-thread
+    /// pools — lengths straddle the sequential cutoff so both the
+    /// fallback and the parallel pass loop are exercised.
+    #[test]
+    fn radix_lsd_matches_stable_sort_across_pools(
+        len in 0usize..12_000,
+        mask_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        // Narrow masks force heavy key collisions (stability stress);
+        // the full mask exercises all radix passes.
+        let mask = [0x7u64, 0xff, u64::MAX][mask_idx];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5);
+        use rand::Rng;
+        let keys: Vec<(u64, u64)> =
+            (0..len as u64).map(|i| (rng.random_range(0..u64::MAX) & mask, i)).collect();
+        let mut expect = keys.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let got = pool.install(|| {
+                let mut v = keys.clone();
+                pmc_parallel::sort::radix_sort_lsd(&mut v, |&(k, _)| k);
+                v
+            });
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    /// The two-pass composite radix sort reproduces the comparison
+    /// sort's (hi, lo) order at every pool width — the property the
+    /// symmetric join's key packing rests on.
+    #[test]
+    fn composite_radix_matches_comparison_across_pools(
+        len in 0usize..10_000,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
+        use rand::Rng;
+        let items: Vec<(u64, u64, u64)> = (0..len as u64)
+            .map(|i| (rng.random_range(0..64), rng.random_range(0..u64::MAX), i))
+            .collect();
+        let mut expect = items.clone();
+        expect.sort_by_key(|&(h, l, _)| (h, l));
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let got = pool.install(|| {
+                let mut v = items.clone();
+                pmc_parallel::sort::radix_sort_by_key2(&mut v, |&(h, _, _)| h, |&(_, l, _)| l);
+                v
+            });
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
     /// Capped binomial sampling respects its bounds.
     #[test]
     fn binomial_capped_bounds(

@@ -7,8 +7,9 @@
 //! drained with an ordinary sequential iterator. Adapters (`map`,
 //! `filter`, `enumerate`, `zip`, ...) are sources wrapping sources, so
 //! a whole adapter chain splits as a unit. Non-indexed sources
-//! ([`ParallelBridge`]) never split and run sequentially — the honest
-//! fallback.
+//! ([`ParallelBridge`]) split by *pulling* doubling chunks off the
+//! stream, so bridged pipelines run in parallel too — with
+//! deterministic chunk boundaries and output order.
 //!
 //! Two properties the workspace's call sites rely on:
 //!
@@ -591,12 +592,30 @@ macro_rules! range_source {
 
 range_source!(usize, u64, u32, u16, i64, i32);
 
-/// Arbitrary sequential iterator (`par_bridge`): never splits, so the
-/// pipeline built on it runs sequentially — the documented fallback
-/// for non-indexed sources.
+/// First chunk a `par_bridge` split pulls; subsequent pulls double up
+/// to [`BRIDGE_CHUNK_MAX`], so short streams stay cheap while long
+/// ones amortise the per-chunk join overhead at bounded split depth.
+const BRIDGE_CHUNK_START: usize = 64;
+const BRIDGE_CHUNK_MAX: usize = 4096;
+
+/// Arbitrary sequential iterator (`par_bridge`). The iterator itself
+/// cannot split, but each `try_split` *pulls* the next chunk of items
+/// out of it into a materialized left half and keeps the rest of the
+/// stream as the right half — so the divide-and-conquer driver turns
+/// the stream into a right-leaning spine of chunks that the deque
+/// scheduler steals and runs concurrently. Pulls are serialized along
+/// the spine (each happens-before the next split) and combines stay
+/// left-before-right, so chunk boundaries and output order are
+/// identical no matter how many threads steal.
 #[derive(Debug, Clone)]
-pub struct SeqSource<I> {
-    iter: I,
+pub struct SeqSource<I: Iterator> {
+    /// A materialized chunk (the left half after a split). Disjoint
+    /// from `iter`: exactly one of the two is populated.
+    chunk: Vec<I::Item>,
+    /// The unpulled remainder of the stream.
+    iter: Option<I>,
+    /// Size of the next chunk to pull.
+    next_chunk: usize,
 }
 
 impl<I> ParSource for SeqSource<I>
@@ -607,15 +626,50 @@ where
     type Item = I::Item;
 
     fn len_hint(&self) -> usize {
-        usize::MAX
+        // Unknown until the stream is drained; keep the driver
+        // splitting. Materialized chunks report their exact length.
+        if self.iter.is_some() {
+            usize::MAX
+        } else {
+            self.chunk.len()
+        }
     }
 
     fn try_split(self) -> Result<(Self, Self), Self> {
-        Err(self)
+        let SeqSource { mut chunk, iter, next_chunk } = self;
+        match iter {
+            Some(mut iter) => {
+                debug_assert!(chunk.is_empty(), "chunk and iter are disjoint");
+                let mut pulled = Vec::with_capacity(next_chunk);
+                pulled.extend(iter.by_ref().take(next_chunk));
+                if pulled.is_empty() {
+                    // Stream exhausted; nothing left to split.
+                    return Err(SeqSource { chunk: pulled, iter: None, next_chunk });
+                }
+                Ok((
+                    SeqSource { chunk: pulled, iter: None, next_chunk },
+                    SeqSource {
+                        chunk: Vec::new(),
+                        iter: Some(iter),
+                        next_chunk: (next_chunk * 2).min(BRIDGE_CHUNK_MAX),
+                    },
+                ))
+            }
+            None if chunk.len() >= 2 => {
+                // A materialized chunk splits like a Vec, so tight
+                // `with_max_len` bounds still apply inside chunks.
+                let tail = chunk.split_off(chunk.len() / 2);
+                Ok((
+                    SeqSource { chunk, iter: None, next_chunk },
+                    SeqSource { chunk: tail, iter: None, next_chunk },
+                ))
+            }
+            None => Err(SeqSource { chunk, iter: None, next_chunk }),
+        }
     }
 
     fn seq(self) -> impl Iterator<Item = I::Item> {
-        self.iter
+        self.chunk.into_iter().chain(self.iter.into_iter().flatten())
     }
 }
 
@@ -1057,15 +1111,22 @@ where
     }
 }
 
-/// `.par_bridge()` on any sequential iterator. The bridged pipeline
-/// runs sequentially (the shim does not steal from a shared feeder);
-/// indexed entry points are the parallel path.
+/// `.par_bridge()` on any sequential iterator. The stream is pulled
+/// in doubling chunks that run in parallel under the work-stealing
+/// deques; chunk boundaries and combine order are deterministic, so
+/// order-sensitive consumers (`collect`) match the sequential result
+/// exactly. Indexed entry points still split more evenly and are
+/// preferred where available.
 pub trait ParallelBridge: Iterator + Send + Sized
 where
     Self::Item: Send,
 {
     fn par_bridge(self) -> ParIter<SeqSource<Self>> {
-        ParIter::from_source(SeqSource { iter: self })
+        ParIter::from_source(SeqSource {
+            chunk: Vec::new(),
+            iter: Some(self),
+            next_chunk: BRIDGE_CHUNK_START,
+        })
     }
 }
 
@@ -1251,6 +1312,38 @@ mod tests {
         assert_eq!(chained, vec![1, 2, 3, 4, 5]);
         let bridged: u32 = (0..10u32).filter(|x| x % 2 == 0).par_bridge().sum();
         assert_eq!(bridged, 20);
+    }
+
+    /// The chunked bridge must preserve stream order exactly, for any
+    /// thread count, including streams much longer than the chunk cap.
+    #[test]
+    fn par_bridge_preserves_order_across_thread_counts() {
+        let expect: Vec<u64> = (0..50_000u64).map(|x| x * 7 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let got: Vec<u64> = with_pool(threads, || {
+                (0..50_000u64).map(|x| x * 7 + 1).par_bridge().collect()
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    /// Bridged work is actually stolen: with slow items and a wide
+    /// pool, more than one thread participates.
+    #[test]
+    fn par_bridge_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let participated = (0..20).any(|_| {
+            with_pool(4, || {
+                (0..512u32).par_bridge().for_each(|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+            seen.lock().unwrap().len() > 1
+        });
+        assert!(participated, "bridged chunks were never stolen");
     }
 
     #[test]

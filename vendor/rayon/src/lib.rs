@@ -5,15 +5,18 @@
 //! semantics:
 //!
 //! * [`join`] runs its two closures concurrently while the installed
-//!   pool's helper budget allows — the second closure is handed to a
-//!   persistent worker thread (see `pool.rs`) — and degrades to
-//!   sequential execution past the budget, so divide-and-conquer call
-//!   trees parallelise without unbounded thread spawning;
+//!   pool's helper budget allows — the second closure is pushed onto a
+//!   per-thread work-stealing deque (see `pool.rs`; idle workers steal
+//!   from the top, the pushing frame reclaims from the bottom) — and
+//!   degrades to sequential execution past the budget, so
+//!   divide-and-conquer call trees parallelise and rebalance under
+//!   skew without unbounded thread spawning;
 //! * the parallel-iterator traits in [`prelude`] split indexed sources
 //!   (slices, `Vec`s, ranges, chunk views) by divide-and-conquer over
 //!   [`join`] and fall back to sequential execution below a split
-//!   cutoff and for non-indexed sources (`par_bridge`); closure bounds
-//!   are rayon's real `Fn + Send + Sync`, and every combining step is
+//!   cutoff; non-indexed sources (`par_bridge`) split off doubling
+//!   chunks that the deques steal; closure bounds are rayon's real
+//!   `Fn + Send + Sync`, and every combining step is
 //!   order-preserving, so `collect`/`reduce` results are identical to
 //!   the sequential ones whenever the operation is associative (see
 //!   [`mod@iter`]);
@@ -165,9 +168,10 @@ pub fn current_num_threads() -> usize {
 }
 
 /// Run `a` and `b`, in parallel when the current pool's helper-thread
-/// budget allows. `b` runs on a persistent worker thread that inherits
-/// the pool context; past the budget both closures run sequentially on
-/// the calling thread.
+/// budget allows. `b` is pushed onto this thread's deque where an idle
+/// worker can steal it (inheriting the pool context); if nobody does,
+/// the caller reclaims and runs it inline after `a`. Past the budget
+/// both closures run sequentially on the calling thread.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -283,10 +287,22 @@ mod tests {
 
     #[test]
     fn join_uses_worker_threads_under_wide_pool() {
+        // With deque scheduling a fast second closure is legitimately
+        // reclaimed and run inline, so pin the caller in its inline
+        // branch long enough for a thief; retry to absorb scheduling
+        // noise.
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        let (id_a, id_b) =
-            pool.install(|| join(std::thread::current, std::thread::current));
-        assert_ne!(id_a.id(), id_b.id(), "helper must run on a worker thread");
+        let me = std::thread::current().id();
+        let stolen = (0..20).any(|_| {
+            let (_, id_b) = pool.install(|| {
+                join(
+                    || std::thread::sleep(std::time::Duration::from_millis(20)),
+                    std::thread::current,
+                )
+            });
+            id_b.id() != me
+        });
+        assert!(stolen, "helper work must be able to run on a worker thread");
     }
 
     /// Regression for the POOL_THREADS scoping bug: the installed

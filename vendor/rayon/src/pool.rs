@@ -1,34 +1,55 @@
-//! The persistent worker pool behind [`crate::join`].
+//! The work-stealing scheduler behind [`crate::join`].
 //!
-//! Workers are plain OS threads parked on a private channel each. An
-//! idle stack holds the send half of every parked worker's channel; a
-//! worker is in the stack iff it is idle. `join` hands its second
-//! closure to an idle worker (spawning a new one when none is parked —
-//! the pool grows to the high-water mark of concurrent helper demand
-//! and workers never exit) and runs the first closure inline.
+//! Every thread that participates in a join — persistent pool workers
+//! and caller threads alike — owns a registered deque of pending
+//! [`Job`]s. `join` pushes its second closure onto the *local* deque
+//! (bottom), runs the first closure inline, and then pops the job back
+//! off the bottom if no thief claimed it meanwhile — the Chase–Lev
+//! discipline: owners push and pop at the bottom, thieves steal from
+//! the top, so the oldest (largest) subtrees migrate first and skewed
+//! divide-and-conquer splits rebalance instead of starving.
+//!
+//! Steal granularity is asymmetric. An idle *worker* steals half of
+//! the victim's queue in one lock acquisition (amortising the steal
+//! cost and seeding its own deque for further thieves) and re-parks on
+//! a condvar when a full scan finds nothing. A *waiting joiner* steals
+//! exactly one job at a time: it may stop scanning the moment its own
+//! latch trips, so it must never hoard jobs it would then strand.
+//! That asymmetry is what makes blocking on the latch deadlock-free:
+//! every queued job either sits in the deque of its origin frame
+//! (which pops-or-runs it before blocking) or of a worker (which
+//! drains its own deque before parking).
 //!
 //! Jobs carry borrows of the calling stack frame, so their lifetime is
 //! erased before crossing threads. That erasure is sound because the
 //! calling frame *always* blocks on the job's completion [`Latch`]
 //! before it can be left — on the normal path explicitly, and on the
 //! unwinding path (the inline closure panicked) via [`WaitGuard`]'s
-//! `Drop`. Helper panics are captured on the worker and re-raised on
-//! the calling thread.
+//! `Drop`, which also helps instead of merely blocking so the pinned
+//! job cannot be orphaned mid-unwind. Helper panics are captured where
+//! the job runs and re-raised on the joining thread.
 
 // The lifetime erasure in `Job::erase` is this crate's only use of
 // unsafe; the workspace-level `unsafe_code` lint keeps it from
 // spreading silently elsewhere.
 #![allow(unsafe_code)]
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crate::{ContextGuard, HelperSlot};
 
-/// A lifetime-erased `FnOnce` shipped to a worker thread.
+/// A lifetime-erased `FnOnce` parked in a deque until some thread
+/// (a worker, a thief, or the pushing frame itself) runs it.
 pub(crate) struct Job {
+    /// Identity of the join frame that pushed the job: the address of
+    /// its stack [`Latch`]. Distinct live latches have distinct
+    /// addresses, so a frame can recognise its own job at the bottom
+    /// of its deque.
+    tag: usize,
     f: Box<dyn FnOnce() + Send + 'static>,
 }
 
@@ -41,8 +62,9 @@ impl Job {
     /// the closure has finished running. [`join_with_helper`] enforces
     /// this by waiting on the [`Latch`] the job signals before its
     /// frame can be left on either the normal or the unwinding path.
-    unsafe fn erase<'a>(f: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    unsafe fn erase<'a>(tag: usize, f: Box<dyn FnOnce() + Send + 'a>) -> Job {
         Job {
+            tag,
             f: std::mem::transmute::<
                 Box<dyn FnOnce() + Send + 'a>,
                 Box<dyn FnOnce() + Send + 'static>,
@@ -55,71 +77,213 @@ impl Job {
     }
 }
 
-/// Send halves of the channels of all currently parked workers.
-fn idle_workers() -> &'static Mutex<Vec<Sender<Job>>> {
-    static IDLE: OnceLock<Mutex<Vec<Sender<Job>>>> = OnceLock::new();
-    IDLE.get_or_init(|| Mutex::new(Vec::new()))
+/// One participant's deque. Owners push and pop at the back (bottom);
+/// thieves drain from the front (top). A mutex-protected `VecDeque`
+/// rather than a lock-free array: the shim trades the CAS protocol of
+/// the real Chase–Lev deque for obviously-correct locking while
+/// keeping its ends-and-granularity semantics.
+pub(crate) struct WorkerDeque {
+    jobs: Mutex<VecDeque<Job>>,
 }
 
-fn lock_idle() -> std::sync::MutexGuard<'static, Vec<Sender<Job>>> {
-    idle_workers().lock().unwrap_or_else(|e| e.into_inner())
+impl WorkerDeque {
+    fn new() -> Arc<Self> {
+        Arc::new(WorkerDeque { jobs: Mutex::new(VecDeque::new()) })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
-/// Workers ever spawned (they never exit). A finished worker sets its
-/// job's latch *before* re-parking on the idle stack, so a caller's
-/// next join can momentarily see an empty stack while a worker is
-/// re-parking; without a cap that race would leak one permanent thread
-/// per occurrence. Past the cap, dispatch degrades to inline execution
-/// instead.
+/// All deques ever registered (grow-only; a thread that exits leaves
+/// an empty deque behind — joiner deques are provably drained, see the
+/// module docs). Thieves snapshot this list and probe round-robin.
+fn registry() -> &'static Mutex<Vec<Arc<WorkerDeque>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<WorkerDeque>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn registry_snapshot() -> Vec<Arc<WorkerDeque>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+thread_local! {
+    static LOCAL_DEQUE: RefCell<Option<Arc<WorkerDeque>>> = const { RefCell::new(None) };
+}
+
+/// The current thread's deque, registering one on first use.
+fn local_deque() -> Arc<WorkerDeque> {
+    LOCAL_DEQUE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(dq) = slot.as_ref() {
+            return Arc::clone(dq);
+        }
+        let dq = WorkerDeque::new();
+        registry().lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&dq));
+        *slot = Some(Arc::clone(&dq));
+        dq
+    })
+}
+
+/// Sleep bookkeeping for parked workers: `sleepers` are parked on the
+/// condvar, `signals` are wake-ups issued but not yet consumed (a
+/// token scheme so notifications are never lost to the check/park
+/// race).
+struct Sleep {
+    state: Mutex<SleepState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct SleepState {
+    sleepers: usize,
+    signals: usize,
+}
+
+fn sleep() -> &'static Sleep {
+    static SLEEP: OnceLock<Sleep> = OnceLock::new();
+    SLEEP.get_or_init(|| Sleep { state: Mutex::new(SleepState::default()), cv: Condvar::new() })
+}
+
+/// Wake up to `n` parked workers that have not been signalled yet.
+fn signal_sleepers(n: usize) {
+    if n == 0 {
+        return;
+    }
+    let s = sleep();
+    let mut st = s.state.lock().unwrap_or_else(|e| e.into_inner());
+    let wakeable = st.sleepers.saturating_sub(st.signals).min(n);
+    if wakeable > 0 {
+        st.signals += wakeable;
+        for _ in 0..wakeable {
+            s.cv.notify_one();
+        }
+    }
+}
+
+/// Workers ever spawned (they never exit). The cap keeps the
+/// signal/park race from leaking a permanent thread per occurrence:
+/// past it, a pushed job simply waits in its deque until a busy worker
+/// or the pushing frame itself gets to it.
 static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
 
 fn worker_cap() -> usize {
     crate::hardware_threads().max(crate::max_pool_width()).saturating_mul(2)
 }
 
-/// Park a fresh worker thread and return the sender of its channel.
-/// Returns `None` past the worker cap or when the OS refuses to spawn
-/// a thread.
-fn spawn_worker() -> Option<Sender<Job>> {
+fn try_spawn_worker() {
     if WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed) >= worker_cap() {
         WORKERS_SPAWNED.fetch_sub(1, Ordering::Relaxed);
-        return None;
+        return;
     }
-    let (tx, rx) = channel::<Job>();
-    let tx_self = tx.clone();
     let spawned = std::thread::Builder::new()
         .name("rayon-shim-worker".into())
-        .spawn(move || {
-            while let Ok(job) = rx.recv() {
-                job.run();
-                lock_idle().push(tx_self.clone());
-            }
-        })
-        .ok()
-        .map(|_| tx);
-    if spawned.is_none() {
+        .spawn(worker_loop)
+        .is_ok();
+    if !spawned {
         WORKERS_SPAWNED.fetch_sub(1, Ordering::Relaxed);
     }
-    spawned
 }
 
-/// Hand `job` to an idle worker, spawning one if necessary. On failure
-/// (thread spawn refused) the job is handed back for inline execution.
-fn dispatch(mut job: Job) -> Result<(), Job> {
+/// Push a job from the current thread and make sure somebody will get
+/// to it: wake a parked worker if one exists, otherwise grow the pool
+/// (under the cap). Returns without blocking either way — if neither
+/// is possible the pushing frame runs the job itself while waiting.
+fn push_job(job: Job) {
+    let dq = local_deque();
+    dq.lock().push_back(job);
+    let s = sleep();
+    let must_spawn = {
+        let mut st = s.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.sleepers > st.signals {
+            st.signals += 1;
+            s.cv.notify_one();
+            false
+        } else {
+            true
+        }
+    };
+    if must_spawn {
+        try_spawn_worker();
+    }
+}
+
+/// Pop the current thread's own job back off the bottom of its deque,
+/// if no thief claimed it. Only the bottom entry can be ours: pushes
+/// and pops are LIFO within a thread, so everything pushed above `tag`
+/// has already been popped or stolen by the time its frame waits.
+fn pop_local_by_tag(tag: usize) -> Option<Job> {
+    let dq = local_deque();
+    let mut jobs = dq.lock();
+    if jobs.back().is_some_and(|job| job.tag == tag) {
+        jobs.pop_back()
+    } else {
+        None
+    }
+}
+
+/// Find one runnable job: the bottom of the local deque first (depth
+/// first — it is the hottest work), then a steal from the top of the
+/// fullest other deque. Workers (`steal_half`) transfer half of the
+/// victim's queue and requeue the surplus locally; joiners take one.
+fn find_work(steal_half: bool) -> Option<Job> {
+    let mine = local_deque();
+    if let Some(job) = mine.lock().pop_back() {
+        return Some(job);
+    }
+    // Pick the victim with the longest queue — the best rebalance per
+    // lock acquisition under skew.
+    let all = registry_snapshot();
+    let mut victim: Option<(usize, &Arc<WorkerDeque>)> = None;
+    for dq in &all {
+        if Arc::ptr_eq(dq, &mine) {
+            continue;
+        }
+        let len = dq.lock().len();
+        if len > 0 && victim.is_none_or(|(best, _)| len > best) {
+            victim = Some((len, dq));
+        }
+    }
+    let (_, dq) = victim?;
+    let mut batch = {
+        let mut jobs = dq.lock();
+        let take = if steal_half { jobs.len().div_ceil(2) } else { 1.min(jobs.len()) };
+        jobs.drain(..take).collect::<VecDeque<_>>()
+    };
+    let first = batch.pop_front()?;
+    if !batch.is_empty() {
+        let surplus = batch.len();
+        mine.lock().append(&mut batch);
+        // The requeued surplus is stealable in turn; advertise it.
+        signal_sleepers(surplus);
+    }
+    Some(first)
+}
+
+fn worker_loop() {
+    // Register this worker's deque up front so joiners can steal from
+    // it even before its first job.
+    let _ = local_deque();
     loop {
-        let idle = lock_idle().pop();
-        match idle {
-            Some(tx) => match tx.send(job) {
-                Ok(()) => return Ok(()),
-                // The worker died (can only happen if its thread was
-                // torn down externally); retry with another.
-                Err(send_err) => job = send_err.0,
-            },
-            None => {
-                return match spawn_worker() {
-                    Some(tx) => tx.send(job).map_err(|e| e.0),
-                    None => Err(job),
-                }
+        if let Some(job) = find_work(true) {
+            job.run();
+            continue;
+        }
+        let s = sleep();
+        let mut st = s.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.signals > 0 {
+            // A push raced our scan; consume the token and rescan.
+            st.signals -= 1;
+            continue;
+        }
+        st.sleepers += 1;
+        loop {
+            st = s.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            if st.signals > 0 {
+                st.signals -= 1;
+                st.sleepers -= 1;
+                break;
             }
         }
     }
@@ -143,6 +307,10 @@ impl<T> Latch<T> {
         self.cv.notify_all();
     }
 
+    fn try_take(&self) -> Option<std::thread::Result<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
     fn wait(&self) -> std::thread::Result<T> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -154,17 +322,42 @@ impl<T> Latch<T> {
     }
 }
 
-/// Blocks on the latch when dropped during an unwind of the inline
-/// closure, so the helper can never outlive the borrows of its job.
+/// Wait for the job identified by `tag` to complete, lending this
+/// thread to the scheduler meanwhile: reclaim the job from the local
+/// deque if it was never stolen (the common un-contended case — it
+/// runs inline with no handoff at all), otherwise run other pending
+/// jobs one steal at a time until the latch trips. Blocking outright
+/// is only reached when a full scan found nothing runnable, at which
+/// point the awaited job is in some worker's hands (see module docs).
+fn wait_with_help<T>(latch: &Latch<T>, tag: usize) -> std::thread::Result<T> {
+    if let Some(job) = pop_local_by_tag(tag) {
+        job.run();
+        // `run` set the latch; fall through to collect it.
+    }
+    loop {
+        if let Some(result) = latch.try_take() {
+            return result;
+        }
+        match find_work(false) {
+            Some(job) => job.run(),
+            None => return latch.wait(),
+        }
+    }
+}
+
+/// Helps (and ultimately blocks) on the latch when dropped during an
+/// unwind of the inline closure, so the pinned job can never outlive
+/// the borrows of its frame.
 struct WaitGuard<'a, T> {
     latch: &'a Latch<T>,
+    tag: usize,
     armed: bool,
 }
 
 impl<T> WaitGuard<'_, T> {
     fn wait(mut self) -> T {
         self.armed = false;
-        match self.latch.wait() {
+        match wait_with_help(self.latch, self.tag) {
             Ok(value) => value,
             Err(payload) => resume_unwind(payload),
         }
@@ -174,14 +367,15 @@ impl<T> WaitGuard<'_, T> {
 impl<T> Drop for WaitGuard<'_, T> {
     fn drop(&mut self) {
         if self.armed {
-            // The inline closure is unwinding; the helper's own panic
-            // (if any) is necessarily swallowed.
-            let _ = self.latch.wait();
+            // The inline closure is unwinding; the pinned job's own
+            // panic (if any) is necessarily swallowed. Jobs trap their
+            // panics internally, so helping here cannot double-panic.
+            let _ = wait_with_help(self.latch, self.tag);
         }
     }
 }
 
-/// Run `a` inline and `b` on a helper worker, under the pool context
+/// Run `a` inline and `b` under the scheduler, in the pool context
 /// carried by `slot`. The slot's budget is released as soon as `b`
 /// finishes, before the caller is woken.
 pub(crate) fn join_with_helper<A, B, RA, RB>(slot: HelperSlot, a: A, b: B) -> (RA, RB)
@@ -192,13 +386,14 @@ where
     RB: Send,
 {
     let latch: Latch<RB> = Latch::new();
+    let tag = &latch as *const Latch<RB> as usize;
     let job = {
         let latch = &latch;
         let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
             let ctx = slot.context();
             let result = catch_unwind(AssertUnwindSafe(|| {
-                // Helpers inherit the *installed* pool, not the
-                // hardware default: nested joins see the same thread
+                // The job inherits the *installed* pool, wherever it
+                // ends up running: nested joins see the same thread
                 // count and charge the same helper budget.
                 let _ctx = ContextGuard::install(ctx);
                 b()
@@ -209,36 +404,24 @@ where
         // SAFETY: `WaitGuard` below waits on `latch` before this frame
         // can be left on either the normal or the unwinding path, so
         // every borrow inside the job outlives its execution.
-        unsafe { Job::erase(boxed) }
+        unsafe { Job::erase(tag, boxed) }
     };
-    match dispatch(job) {
-        Ok(()) => {
-            let guard = WaitGuard { latch: &latch, armed: true };
-            let ra = a();
-            let rb = guard.wait();
-            (ra, rb)
-        }
-        Err(job) => {
-            // No worker available under the cap: degrade to
-            // sequential. The job still runs (releasing the slot and
-            // setting the latch), just on this thread.
-            job.run();
-            let ra = a();
-            let rb = match latch.wait() {
-                Ok(value) => value,
-                Err(payload) => resume_unwind(payload),
-            };
-            (ra, rb)
-        }
-    }
+    push_job(job);
+    let guard = WaitGuard { latch: &latch, tag, armed: true };
+    let ra = a();
+    let rb = guard.wait();
+    (ra, rb)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
 
     /// A tight loop of sequential joins races each worker's re-park
-    /// against the next dispatch; the cap must keep the pool from
+    /// against the next push; the cap must keep the pool from
     /// accumulating a thread per race.
     #[test]
     fn worker_count_stays_bounded_under_join_churn() {
@@ -255,5 +438,81 @@ mod tests {
             "{spawned} workers spawned, cap {}",
             worker_cap()
         );
+    }
+
+    /// A pinned job whose frame is busy long enough for a thief must be
+    /// stolen, not run by the pushing thread.
+    #[test]
+    fn blocked_joiner_gets_its_job_stolen() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let me = std::thread::current().id();
+        let mut observed_steal = false;
+        for _ in 0..20 {
+            let stolen_on = pool.install(|| {
+                crate::join(
+                    || std::thread::sleep(Duration::from_millis(20)),
+                    std::thread::current,
+                )
+                .1
+            });
+            if stolen_on.id() != me {
+                observed_steal = true;
+                break;
+            }
+        }
+        assert!(observed_steal, "no worker ever stole the pinned job");
+    }
+
+    /// Under deliberate skew — one branch of every join is heavy — the
+    /// stolen light branches must land on more than one thread.
+    #[test]
+    fn skewed_join_tree_observes_multiple_threads() {
+        fn tree(depth: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            if depth == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+                return;
+            }
+            // Skew: the inline branch recurses, the pinned branch is a
+            // single leaf. Static splitting would starve every helper.
+            crate::join(|| tree(depth - 1, seen), || tree(0, seen));
+        }
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = Mutex::new(HashSet::new());
+        pool.install(|| tree(64, &seen));
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "steals under skew must involve more than one thread"
+        );
+    }
+
+    /// A panic in a job that was genuinely stolen (the victim frame is
+    /// parked on a barrier until the thief has started) propagates to
+    /// the joining thread, and the pool stays usable.
+    #[test]
+    fn panic_in_stolen_job_propagates_to_joiner() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let started = AtomicBool::new(false);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                crate::join(
+                    || {
+                        // Hold the joiner in its inline branch until the
+                        // thief has picked the job up, so the job cannot
+                        // be reclaimed and run inline.
+                        while !started.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                    },
+                    || {
+                        started.store(true, Ordering::Release);
+                        panic!("stolen job boom");
+                    },
+                )
+            })
+        }));
+        assert!(result.is_err(), "the stolen job's panic must reach the joiner");
+        let (x, y) = pool.install(|| crate::join(|| 1, || 2));
+        assert_eq!((x, y), (1, 2));
     }
 }
