@@ -1,11 +1,14 @@
 //! E-ablate — design ablations: interest strategy (centroid vs
 //! heavy-path, metered side by side), decomposition strategy, Monge
-//! engine, ε, interest filter on/off.
+//! engine, LCA substrate, ε, interest filter on/off.
 //! `cargo run -p pmc-bench --release --bin ablation [full|--smoke]`
 //!
 //! `--smoke` runs a reduced size for CI: every variant still has to
 //! agree with the all-pairs oracle (asserted inside the runner), so the
-//! strategy comparison cannot silently rot.
+//! strategy comparison cannot silently rot — and the substrate gauges
+//! are gated (SMAWK strictly fewer metered entry evaluations than
+//! divide-and-conquer; sparse-table LCA strictly fewer metered steps
+//! than lifting on the same query stream).
 
 use pmc_bench::experiments::run_ablation;
 use pmc_bench::BenchRecord;
@@ -31,11 +34,37 @@ fn main() {
         runs: vec![(rayon::current_num_threads(), summary.default_wall_ms)],
         metered_queries: summary.default_queries,
         speedup: summary.naive_wall_ms / summary.default_wall_ms,
-        extra: vec![("naive_wall_ms".into(), summary.naive_wall_ms)],
+        extra: vec![
+            ("naive_wall_ms".into(), summary.naive_wall_ms),
+            ("smawk_monge_entries".into(), summary.smawk_monge_entries as f64),
+            ("dc_monge_entries".into(), summary.dc_monge_entries as f64),
+            ("sparse_lca_steps".into(), summary.sparse_lca_steps as f64),
+            ("lifting_lca_steps".into(), summary.lifting_lca_steps as f64),
+        ],
     }
     .write_and_announce();
-    println!("\nReading guide: the naive row shows the work the interest filter removes;\nthe centroid vs heavy-path rows meter Claim 4.13's O(log n) arm tracing against\nthe O(log² n) fallback ('interest qs'); D&C Monge trades a log factor of\nentries for parallel span.");
+    println!("\nReading guide: the naive row shows the work the interest filter removes;\nthe centroid vs heavy-path rows meter Claim 4.13's O(log n) arm tracing against\nthe O(log² n) fallback ('interest qs'); D&C Monge trades a log factor of\nentries for parallel span; the lifting-LCA row shows the per-query step\ncount the sparse table collapses to one ('lca steps').");
     if smoke {
-        println!("\n--smoke: all variants agreed with the all-pairs oracle at n = {n}.");
+        assert!(
+            summary.smawk_monge_entries < summary.dc_monge_entries,
+            "SMAWK metered entry evaluations ({}) not strictly below \
+             divide-and-conquer's ({}) at n = {n}",
+            summary.smawk_monge_entries,
+            summary.dc_monge_entries
+        );
+        assert!(
+            summary.sparse_lca_steps < summary.lifting_lca_steps,
+            "sparse-table LCA steps ({}) not strictly below lifting's ({}) at n = {n}",
+            summary.sparse_lca_steps,
+            summary.lifting_lca_steps
+        );
+        println!(
+            "\n--smoke: all variants agreed with the all-pairs oracle at n = {n}; \
+             SMAWK entries {} < D&C {}; sparse LCA steps {} < lifting {}.",
+            summary.smawk_monge_entries,
+            summary.dc_monge_entries,
+            summary.sparse_lca_steps,
+            summary.lifting_lca_steps
+        );
     }
 }

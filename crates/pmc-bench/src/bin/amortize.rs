@@ -92,6 +92,14 @@ fn smoke(args: &[String]) {
             probe.shared_ms
         );
         println!("PASS: shared-context speedup >= {MIN_SPEEDUP}x");
+    } else if std::env::var("PMC_BENCH_STRICT").is_ok_and(|v| v == "1") {
+        // CI sets PMC_BENCH_STRICT=1: a runner too narrow to run the
+        // gate is a job failure, not a silent green.
+        eprintln!(
+            "FAIL: {hw} hardware threads < {SMOKE_THREADS} required for the amortize \
+             gate and PMC_BENCH_STRICT=1 — refusing to skip"
+        );
+        std::process::exit(2);
     } else {
         println!(
             "SKIPPED assertion: fewer than {SMOKE_THREADS} hardware threads; \

@@ -11,7 +11,7 @@ use pmc_mincut::{
 };
 use pmc_monge::RowMinimaAlgo;
 use pmc_parallel::meter::{CostKind, Meter};
-use pmc_tree::{PathStrategy, RootedTree};
+use pmc_tree::{LcaStrategy, PathStrategy, RootedTree};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -446,7 +446,9 @@ pub fn run_amortize(sizes: &[usize], seed: u64) -> Table {
 
 /// Headline numbers of one E-ablate run: the default variant against
 /// the naive all-pairs baseline (the pair the recorded trajectory
-/// tracks).
+/// tracks), plus the substrate gauges the O(1)-query acceptance
+/// criteria read (metered Monge entry evaluations per row-minima
+/// engine, metered LCA steps per LCA substrate).
 #[derive(Debug, Clone)]
 pub struct AblationSummary {
     pub n: usize,
@@ -456,13 +458,25 @@ pub struct AblationSummary {
     pub default_queries: u64,
     /// Wall of the naive all-pairs baseline.
     pub naive_wall_ms: f64,
+    /// Metered `MongeEntry` evaluations under SMAWK (the default) and
+    /// under divide-and-conquer row minima — the pair the `--smoke`
+    /// gate compares.
+    pub smawk_monge_entries: u64,
+    pub dc_monge_entries: u64,
+    /// Metered `LcaStep` charges under the sparse-table substrate (one
+    /// per query — the O(1) evidence) and under binary lifting
+    /// (`levels()` per query, so it grows with depth).
+    pub sparse_lca_steps: u64,
+    pub lifting_lca_steps: u64,
 }
 
 /// E-ablate — design ablations on one fixed workload: interest-search
 /// decomposition strategy (centroid vs heavy-path, metered side by
-/// side), path decomposition, Monge engine, ε, and the no-filter
-/// baseline. The `interest qs` column isolates the cut/coverage
-/// queries the arm tracing issues — the quantity Claim 4.13 bounds.
+/// side), path decomposition, Monge engine (SMAWK vs divide-and-
+/// conquer, `monge entries`), LCA substrate (sparse-table vs lifting,
+/// `lca steps`), ε, and the no-filter baseline. The `interest qs`
+/// column isolates the cut/coverage queries the arm tracing issues —
+/// the quantity Claim 4.13 bounds.
 pub fn run_ablation(n: usize, seed: u64) -> (Table, AblationSummary) {
     let (g, tree_edges) = workloads::graph_with_tree(n, 0.5, seed);
     let tree = RootedTree::from_edge_list(g.n(), &tree_edges, 0);
@@ -471,11 +485,13 @@ pub fn run_ablation(n: usize, seed: u64) -> (Table, AblationSummary) {
         "cut queries",
         "interest qs",
         "monge entries",
+        "lca steps",
         "total ops",
         "wall ms",
     ]);
     let reference = naive_value(&g, &tree);
-    let mut run = |name: &str, params: TwoRespectParams| -> (f64, u64) {
+    // Per variant: (wall ms, cut queries, monge entries, lca steps).
+    let mut run = |name: &str, params: TwoRespectParams| -> (f64, u64, u64, u64) {
         let meter = Meter::enabled();
         let t0 = Instant::now();
         let out = two_respecting_mincut(&g, &tree, &params, &meter);
@@ -487,13 +503,19 @@ pub fn run_ablation(n: usize, seed: u64) -> (Table, AblationSummary) {
             fmt_count(rep.work_of(CostKind::CutQuery)),
             fmt_count(rep.work_of(CostKind::InterestQuery)),
             fmt_count(rep.work_of(CostKind::MongeEntry)),
+            fmt_count(rep.work_of(CostKind::LcaStep)),
             fmt_count(rep.total_work()),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
         ]);
-        (wall.as_secs_f64() * 1e3, rep.work_of(CostKind::CutQuery))
+        (
+            wall.as_secs_f64() * 1e3,
+            rep.work_of(CostKind::CutQuery),
+            rep.work_of(CostKind::MongeEntry),
+            rep.work_of(CostKind::LcaStep),
+        )
     };
-    let (default_wall_ms, default_queries) =
-        run("centroid interest + SMAWK (default)", TwoRespectParams::default());
+    let (default_wall_ms, default_queries, smawk_monge_entries, sparse_lca_steps) =
+        run("centroid + SMAWK + sparse LCA (default)", TwoRespectParams::default());
     run(
         "heavy-path interest + SMAWK",
         TwoRespectParams {
@@ -505,12 +527,16 @@ pub fn run_ablation(n: usize, seed: u64) -> (Table, AblationSummary) {
         "bough + SMAWK",
         TwoRespectParams { strategy: PathStrategy::Bough, ..TwoRespectParams::default() },
     );
-    run(
+    let (_, _, dc_monge_entries, _) = run(
         "centroid + D&C monge",
         TwoRespectParams {
             monge_algo: RowMinimaAlgo::DivideConquer,
             ..TwoRespectParams::default()
         },
+    );
+    let (_, _, _, lifting_lca_steps) = run(
+        "centroid + lifting LCA",
+        TwoRespectParams { lca_strategy: LcaStrategy::Lifting, ..TwoRespectParams::default() },
     );
     run("eps = 0.10", TwoRespectParams { eps: 0.10, ..TwoRespectParams::default() });
     run("eps = 0.75", TwoRespectParams { eps: 0.75, ..TwoRespectParams::default() });
@@ -527,13 +553,23 @@ pub fn run_ablation(n: usize, seed: u64) -> (Table, AblationSummary) {
             fmt_count(rep.work_of(CostKind::CutQuery)),
             fmt_count(rep.work_of(CostKind::InterestQuery)),
             fmt_count(rep.work_of(CostKind::MongeEntry)),
+            fmt_count(rep.work_of(CostKind::LcaStep)),
             fmt_count(rep.total_work()),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
         ]);
         wall.as_secs_f64() * 1e3
     };
-    let summary =
-        AblationSummary { n: g.n(), m: g.m(), default_wall_ms, default_queries, naive_wall_ms };
+    let summary = AblationSummary {
+        n: g.n(),
+        m: g.m(),
+        default_wall_ms,
+        default_queries,
+        naive_wall_ms,
+        smawk_monge_entries,
+        dc_monge_entries,
+        sparse_lca_steps,
+        lifting_lca_steps,
+    };
     (t, summary)
 }
 
@@ -609,10 +645,19 @@ mod tests {
     #[test]
     fn ablation_runs_and_agrees() {
         let (t, summary) = run_ablation(48, 5);
-        assert_eq!(t.len(), 7);
+        assert_eq!(t.len(), 8);
         assert_eq!(summary.n, 48);
         assert!(summary.default_wall_ms > 0.0 && summary.naive_wall_ms > 0.0);
         assert!(summary.default_queries > 0);
+        // Substrate gauges: SMAWK never pays more distinct entries than
+        // divide-and-conquer (strictness is the --smoke gate's job at a
+        // size where blocks are big enough), and the sparse table's
+        // one-step queries cost strictly fewer LCA steps than lifting's
+        // levels()-per-query on the same query stream.
+        assert!(summary.smawk_monge_entries > 0);
+        assert!(summary.smawk_monge_entries <= summary.dc_monge_entries);
+        assert!(summary.sparse_lca_steps > 0);
+        assert!(summary.sparse_lca_steps < summary.lifting_lca_steps);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use pmc_graph::Graph;
 use pmc_parallel::meter::{CostKind, Meter};
 use pmc_range::{Point2, RangeTree2D};
-use pmc_tree::{LcaTable, RootedTree};
+use pmc_tree::{LcaOracle, RootedTree};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -49,10 +49,16 @@ impl<'a> CutQuery<'a> {
     /// the grid points only need postorder numbers, the coverage array
     /// only the LCA difference trick — so they fork under `rayon::join`
     /// (DESIGN.md §8).
-    pub fn build(
+    ///
+    /// Generic over the LCA substrate: the coverage pass issues one LCA
+    /// query *per graph edge* — the single largest LCA volume in the
+    /// solver — so it goes through [`LcaOracle::lca_metered`] and the
+    /// [`pmc_parallel::meter::CostKind::LcaStep`] gauge records whether
+    /// those `m` queries cost `O(1)` or `O(log n)` probes each.
+    pub fn build<L: LcaOracle>(
         g: &'a Graph,
         tree: &Arc<RootedTree>,
-        lca: &LcaTable,
+        lca: &L,
         eps: f64,
         meter: &Meter,
     ) -> Self {
@@ -74,7 +80,7 @@ impl<'a> CutQuery<'a> {
                 // -2w at the LCA; subtree sums in postorder.
                 let mut diff = vec![0i64; n];
                 for e in g.edges() {
-                    let l = lca.lca(e.u, e.v);
+                    let l = lca.lca_metered(e.u, e.v, meter);
                     diff[e.u as usize] += e.w as i64;
                     diff[e.v as usize] += e.w as i64;
                     diff[l as usize] -= 2 * e.w as i64;
@@ -278,6 +284,7 @@ mod tests {
     use pmc_graph::graph::cut_of_partition;
     use pmc_graph::{generators, Graph};
     use pmc_parallel::spanning_forest::spanning_forest;
+    use pmc_tree::LcaTable;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -52,7 +52,7 @@ use crate::interest::InterestEngine;
 use crate::two_respect::{two_respecting_mincut_in, TwoRespectOutcome, TwoRespectParams};
 use pmc_graph::{CutResult, Graph};
 use pmc_parallel::meter::{CostKind, Meter};
-use pmc_tree::{LcaTable, PathDecomposition, RootedTree};
+use pmc_tree::{LcaEngine, PathDecomposition, RootedTree};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -204,7 +204,7 @@ impl<'g> GraphContext<'g> {
 /// queries, and repeated solves all share it.
 pub struct TreeContext<'g> {
     tree: Arc<RootedTree>,
-    lca: LcaTable,
+    lca: LcaEngine,
     q: CutQuery<'g>,
     decomp: PathDecomposition,
     interest: InterestEngine,
@@ -228,7 +228,7 @@ impl<'g> TreeContext<'g> {
         assert_eq!(g.n(), tree.n(), "graph and tree must share the vertex set");
         let ((lca, q), (decomp, interest)) = rayon::join(
             || {
-                let lca = LcaTable::build(&tree);
+                let lca = LcaEngine::build(&tree, params.lca_strategy, meter);
                 let q = CutQuery::build(g, &tree, &lca, params.eps, meter);
                 (lca, q)
             },
@@ -286,8 +286,11 @@ impl<'g> TreeContext<'g> {
         Arc::clone(&self.tree)
     }
 
+    /// The LCA substrate built for [`TwoRespectParams::lca_strategy`]:
+    /// plain `lca` dispatches to the strategy's engine, level ancestors
+    /// stay with the lifting table.
     #[inline]
-    pub fn lca(&self) -> &LcaTable {
+    pub fn lca(&self) -> &LcaEngine {
         &self.lca
     }
 

@@ -91,6 +91,9 @@ impl ExactParams {
     pub fn paper(seed: u64) -> Self {
         ExactParams {
             approx: ApproxParams::paper(seed),
+            // Theorem 4.2's substrate choices (SMAWK row minima, O(1)
+            // Euler-tour LCA) pinned for every packed tree.
+            two_respect: TwoRespectParams::paper(),
             // The paper's Claim 4.13 search; pinned here so the preset
             // stays faithful even if the workspace default moves.
             interest_strategy: InterestStrategy::Centroid,

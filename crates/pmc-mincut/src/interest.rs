@@ -39,7 +39,7 @@
 
 use crate::cutquery::CutQuery;
 use pmc_parallel::meter::{CostKind, Meter};
-use pmc_tree::{CentroidDecomposition, LcaTable};
+use pmc_tree::{CentroidDecomposition, LcaEngine};
 
 /// Endpoints of the interesting path of one edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,9 +328,14 @@ enum EngineRef<'a> {
 }
 
 /// Interest-path search over a fixed [`CutQuery`] structure.
+///
+/// Holds an [`LcaEngine`] rather than a bare lifting table: the arm
+/// binary searches need level-ancestor queries (which stay with the
+/// lifting substrate whatever the LCA strategy), so the engine is the
+/// right capability bundle here.
 pub struct InterestSearch<'a> {
     q: &'a CutQuery<'a>,
-    lca: &'a LcaTable,
+    lca: &'a LcaEngine,
     engine: EngineRef<'a>,
 }
 
@@ -340,7 +345,7 @@ impl<'a> InterestSearch<'a> {
     /// reuse a prebuilt one).
     pub fn build(
         q: &'a CutQuery<'a>,
-        lca: &'a LcaTable,
+        lca: &'a LcaEngine,
         strategy: InterestStrategy,
         meter: &Meter,
     ) -> Self {
@@ -352,7 +357,7 @@ impl<'a> InterestSearch<'a> {
     /// path of the two-level solver engine: no per-call rebuild.
     pub fn with_engine(
         q: &'a CutQuery<'a>,
-        lca: &'a LcaTable,
+        lca: &'a LcaEngine,
         engine: &'a InterestEngine,
     ) -> Self {
         InterestSearch { q, lca, engine: EngineRef::Borrowed(engine) }
@@ -363,7 +368,7 @@ impl<'a> InterestSearch<'a> {
     /// schemes beyond the two shipped ones.
     pub fn build_with(
         q: &'a CutQuery<'a>,
-        lca: &'a LcaTable,
+        lca: &'a LcaEngine,
         engine: Box<dyn DecompositionStrategy + Send>,
     ) -> Self {
         InterestSearch { q, lca, engine: EngineRef::Owned(InterestEngine::Custom(engine)) }
@@ -532,12 +537,16 @@ mod tests {
     use super::*;
     use pmc_graph::{generators, Graph};
     use pmc_parallel::spanning_forest::spanning_forest;
-    use pmc_tree::RootedTree;
+    use pmc_tree::{LcaStrategy, RootedTree};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     const BOTH: [InterestStrategy; 2] =
         [InterestStrategy::HeavyPath, InterestStrategy::Centroid];
+
+    fn lca_of(tree: &RootedTree) -> LcaEngine {
+        LcaEngine::build(tree, LcaStrategy::default(), &Meter::disabled())
+    }
 
     struct Fixture {
         g: Graph,
@@ -570,7 +579,7 @@ mod tests {
         // Claim 4.8 empirically: Π(e) ∪ {e} is connected and branchless.
         for seed in 0..5 {
             let f = fixture(24, 50, 200 + seed);
-            let lca = LcaTable::build(&f.tree);
+            let lca = lca_of(&f.tree);
             let q = CutQuery::build(&f.g, &f.tree, &lca, 0.5, &Meter::disabled());
             let is =
                 InterestSearch::build(&q, &lca, InterestStrategy::default(), &Meter::disabled());
@@ -614,7 +623,7 @@ mod tests {
         // lies on root->de or root->ce — under both strategies.
         for seed in 0..8 {
             let f = fixture(30, 70, 300 + seed);
-            let lca = LcaTable::build(&f.tree);
+            let lca = lca_of(&f.tree);
             let q = CutQuery::build(&f.g, &f.tree, &lca, 0.4, &Meter::disabled());
             let m = Meter::disabled();
             for strategy in BOTH {
@@ -644,7 +653,7 @@ mod tests {
         // each arm), so the two descents must return identical `Arms`.
         for seed in 0..10 {
             let f = fixture(28, 64, 500 + seed);
-            let lca = LcaTable::build(&f.tree);
+            let lca = lca_of(&f.tree);
             let q = CutQuery::build(&f.g, &f.tree, &lca, 0.5, &Meter::disabled());
             let m = Meter::disabled();
             let heavy = InterestSearch::build(&q, &lca, InterestStrategy::HeavyPath, &m);
@@ -672,7 +681,7 @@ mod tests {
             let edges: Vec<(u32, u32)> =
                 forest.iter().map(|&i| (g.edge(i as usize).u, g.edge(i as usize).v)).collect();
             let tree = std::sync::Arc::new(RootedTree::from_edge_list(g.n(), &edges, 0));
-            let lca = LcaTable::build(&tree);
+            let lca = lca_of(&tree);
             let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
             let m = Meter::disabled();
             for strategy in BOTH {
@@ -700,7 +709,7 @@ mod tests {
         let g = generators::path(12, 4);
         let parent: Vec<u32> = (0..12u32).map(|v| v.saturating_sub(1)).collect();
         let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
-        let lca = LcaTable::build(&tree);
+        let lca = lca_of(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
         for strategy in BOTH {
@@ -723,7 +732,7 @@ mod tests {
         let g = Graph::from_edges(10, edges);
         let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
         let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
-        let lca = LcaTable::build(&tree);
+        let lca = lca_of(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
         // Every tree edge is covered by the chord (weight 5) and itself
@@ -774,7 +783,7 @@ mod tests {
             ],
         );
         let tree = std::sync::Arc::new(RootedTree::from_parents(0, &[0, 0, 0, 1, 2, 4]));
-        let lca = LcaTable::build(&tree);
+        let lca = lca_of(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let is = InterestSearch::build(&q, &lca, InterestStrategy::default(), &Meter::disabled());
         let m = Meter::disabled();
@@ -816,7 +825,7 @@ mod tests {
             }
         }
         let f = fixture(26, 60, 900);
-        let lca = LcaTable::build(&f.tree);
+        let lca = lca_of(&f.tree);
         let q = CutQuery::build(&f.g, &f.tree, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
         let custom = InterestSearch::build_with(&q, &lca, Box::new(LinearScan));
@@ -836,7 +845,7 @@ mod tests {
         let levels = 9; // n = 3·2⁹ − 2 = 1534
         let (g, parent, spine) = generators::fishbone(levels, 8);
         let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
-        let lca = LcaTable::build(&tree);
+        let lca = lca_of(&tree);
         let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
         let count = |strategy: InterestStrategy| -> u64 {
             let is = InterestSearch::build(&q, &lca, strategy, &Meter::disabled());

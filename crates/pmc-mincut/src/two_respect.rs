@@ -27,7 +27,7 @@ use crate::interest::{InterestEngine, InterestSearch, InterestStrategy};
 use pmc_graph::{CutResult, Graph};
 use pmc_monge::{monge_minimum_with, triangle_minimum_with, Orient, RowMinimaAlgo};
 use pmc_parallel::meter::Meter;
-use pmc_tree::{LcaTable, PathDecomposition, PathStrategy, RootedTree};
+use pmc_tree::{LcaEngine, LcaStrategy, LcaTable, PathDecomposition, PathStrategy, RootedTree};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -51,6 +51,10 @@ pub struct TwoRespectParams {
     /// exact pipeline, `ExactParams::interest_strategy` is authoritative
     /// and overwrites this field — set the knob there instead.
     pub interest_strategy: InterestStrategy,
+    /// Which substrate answers plain LCA queries: binary lifting
+    /// (`O(log n)` probes per query) or the Euler-tour sparse table
+    /// (`O(1)`). Level-ancestor queries always stay with lifting.
+    pub lca_strategy: LcaStrategy,
 }
 
 impl Default for TwoRespectParams {
@@ -60,6 +64,24 @@ impl Default for TwoRespectParams {
             strategy: PathStrategy::HeavyPath,
             monge_algo: RowMinimaAlgo::Smawk,
             interest_strategy: InterestStrategy::default(),
+            lca_strategy: LcaStrategy::default(),
+        }
+    }
+}
+
+impl TwoRespectParams {
+    /// The paper-faithful configuration of Theorem 4.2: SMAWK row
+    /// minima (the [RV94] substitute of §4.1.2/§4.1.3), centroid-descent
+    /// interest arms (Claim 4.13), and the O(1)-query Euler-tour LCA —
+    /// the variants the complexity statements assume. `Default`
+    /// currently coincides on the substrate knobs; `paper()` pins them
+    /// explicitly so experiment configs stay stable if defaults move.
+    pub fn paper() -> Self {
+        TwoRespectParams {
+            monge_algo: RowMinimaAlgo::Smawk,
+            interest_strategy: InterestStrategy::Centroid,
+            lca_strategy: LcaStrategy::SparseTable,
+            ..TwoRespectParams::default()
         }
     }
 }
@@ -181,7 +203,7 @@ pub fn two_respecting_mincut_in(ctx: &TreeContext<'_>, meter: &Meter) -> TwoResp
 /// blocks.
 fn cross_path_minimum(
     q: &CutQuery<'_>,
-    lca: &LcaTable,
+    lca: &LcaEngine,
     decomp: &PathDecomposition,
     algo: RowMinimaAlgo,
     engine: &InterestEngine,
@@ -265,11 +287,26 @@ fn cross_path_minimum(
 /// packed path-pair id, the low word packs `(side, position, edge)` —
 /// the paper's "(path-id, position)" key — so no comparisons happen on
 /// the hot path. Positions and edge ids are `< n < 2^31`, so the low
-/// word is exact; the (untestable in practice) wider case falls back to
-/// the comparison sort, whose order the radix path reproduces
-/// bit-identically — see `radix_join_order_matches_comparison_sort`.
+/// word is exact; the wider case falls back to the comparison sort,
+/// whose order the radix path reproduces bit-identically — see
+/// `radix_join_order_matches_comparison_sort` and the shrunken-guard
+/// test driving the fallback through [`sort_join_keys_with_limit`].
 fn sort_join_keys(keyed: &mut Vec<(u64, u32, u32)>, decomp: &PathDecomposition, n: usize) {
-    if (n as u64) < (1 << 31) {
+    sort_join_keys_with_limit(keyed, decomp, n, 1 << 31);
+}
+
+/// [`sort_join_keys`] with the packed-key guard exposed: the radix path
+/// runs only when `n < limit` (so the `(side, pos, e)` low word cannot
+/// collide). Production passes `2^31`; tests shrink `limit` to force
+/// the comparison fallback on reachable sizes and pin both paths to the
+/// same order.
+fn sort_join_keys_with_limit(
+    keyed: &mut Vec<(u64, u32, u32)>,
+    decomp: &PathDecomposition,
+    n: usize,
+    limit: u64,
+) {
+    if (n as u64) < limit {
         pmc_parallel::sort::radix_sort_by_key2(
             keyed,
             |&(pair, _, _)| pair,
@@ -567,6 +604,46 @@ mod tests {
             sort_join_keys(&mut keyed, &decomp, n);
             assert_eq!(keyed, expect, "trial {trial} (n={n})");
         }
+    }
+
+    /// The `n < 2^31` packed-key guard itself, exercised from both
+    /// sides at reachable sizes: shrinking the limit forces the
+    /// comparison fallback, widening it keeps the radix path, and the
+    /// two must agree bit-for-bit (duplicates included) so the guard
+    /// can flip without changing any downstream job order.
+    #[test]
+    fn shrunken_guard_pins_radix_to_comparison_sort() {
+        let mut rng = StdRng::seed_from_u64(407);
+        let n = 120;
+        let g = generators::gnm_connected(n, 5 * n, 13, &mut rng);
+        let t = spanning_tree_of(&g, 0);
+        let decomp =
+            PathDecomposition::build(&t, PathStrategy::HeavyPath, &Meter::disabled());
+        let mut keyed: Vec<(u64, u32, u32)> = Vec::new();
+        for p in 0..decomp.num_paths() as u32 {
+            for q in 0..decomp.num_paths() as u32 {
+                if p == q {
+                    continue;
+                }
+                let (a, b, side) = if p < q { (p, q, 0u32) } else { (q, p, 1u32) };
+                for &e in decomp.path(p) {
+                    keyed.push((((a as u64) << 32) | b as u64, side, e));
+                    // Duplicate some tuples: ties across identical keys
+                    // must land identically on both paths too.
+                    if e % 3 == 0 {
+                        keyed.push((((a as u64) << 32) | b as u64, side, e));
+                    }
+                }
+            }
+        }
+        let mut via_radix = keyed.clone();
+        sort_join_keys_with_limit(&mut via_radix, &decomp, n, u64::MAX);
+        let mut via_cmp = keyed.clone();
+        sort_join_keys_with_limit(&mut via_cmp, &decomp, n, 0); // n >= 0: fallback
+        assert_eq!(via_radix, via_cmp, "guard sides must agree");
+        // And the production entry point takes the radix side here.
+        sort_join_keys(&mut keyed, &decomp, n);
+        assert_eq!(keyed, via_radix);
     }
 
     #[test]

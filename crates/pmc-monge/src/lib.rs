@@ -82,9 +82,20 @@ where
     if rows == 0 || cols == 0 {
         return out;
     }
+    // Memoize distinct entries: the recursion re-touches boundary
+    // columns (a level's reduce re-compares entries its parent's
+    // interpolate already paid for), and in the solver every entry is a
+    // full cut query — dedup is a real saving, and the meter charges
+    // *oracle* evaluations, i.e. distinct entries.
+    let memo = std::cell::RefCell::new(std::collections::HashMap::<(u32, u32), u64>::new());
     let eval = |i: usize, j: usize| {
+        if let Some(&v) = memo.borrow().get(&(i as u32, j as u32)) {
+            return v;
+        }
         meter.bump(CostKind::MongeEntry);
-        f(i, j)
+        let v = f(i, j);
+        memo.borrow_mut().insert((i as u32, j as u32), v);
+        v
     };
     smawk_rec(&row_idx, &col_idx, &eval, &mut out);
     out
@@ -97,31 +108,87 @@ where
     if rows.is_empty() {
         return;
     }
-    // REDUCE: prune columns that cannot host any row minimum, keeping at
-    // most |rows| survivors.
-    let mut stack: Vec<usize> = Vec::with_capacity(rows.len());
-    for &c in cols {
-        loop {
-            if stack.is_empty() {
-                stack.push(c);
-                break;
-            }
-            let r = rows[stack.len() - 1];
-            let top = *stack.last().unwrap();
-            if f(r, top) > f(r, c) {
-                stack.pop();
-            } else if stack.len() < rows.len() {
-                stack.push(c);
-                break;
-            } else {
-                break;
+    if rows.len() <= 2 {
+        // One or two rows: scan the last row for its leftmost minimum
+        // (|cols| evaluations), then by total monotonicity the first
+        // row's minimum sits at or left of that argmin — the exact
+        // entry set divide-and-conquer touches, so tiny blocks cost the
+        // two engines the same.
+        let r = rows[rows.len() - 1];
+        let mut best = Located::MAX;
+        for &c in cols {
+            let v = f(r, c);
+            if v < best.value {
+                best = Located { row: r, col: c, value: v };
             }
         }
+        out[r] = best;
+        if rows.len() == 2 {
+            let r0 = rows[0];
+            let mut first = Located::MAX;
+            for &c in cols {
+                let v = f(r0, c);
+                if v < first.value {
+                    first = Located { row: r0, col: c, value: v };
+                }
+                if c == best.col {
+                    break;
+                }
+            }
+            out[r0] = first;
+        }
+        return;
     }
-    let cols = stack;
+    // REDUCE: prune columns that cannot host any row minimum, keeping
+    // at most |rows| survivors. Only worth the comparisons when there
+    // are more columns than rows — with |cols| <= |rows| the stack
+    // cannot prune below the existing bound and every comparison is
+    // overhead (this is what keeps the square-matrix constant below
+    // divide-and-conquer's `log r` factor). Each stack entry caches the
+    // value of its column at "its" row (`f(rows[h], stack[h])` for
+    // height `h`), computed lazily on first use as the left comparison
+    // operand, so a column that survives several comparisons as
+    // top-of-stack is evaluated there once instead of once per
+    // comparison.
+    let reduced: Vec<usize>;
+    let cols: &[usize] = if cols.len() > rows.len() {
+        let mut stack: Vec<(usize, Option<u64>)> = Vec::with_capacity(rows.len());
+        for &c in cols {
+            loop {
+                let h = stack.len();
+                if h == 0 {
+                    stack.push((c, None));
+                    break;
+                }
+                let r = rows[h - 1];
+                let top_val = match stack[h - 1].1 {
+                    Some(v) => v,
+                    None => {
+                        let v = f(r, stack[h - 1].0);
+                        stack[h - 1].1 = Some(v);
+                        v
+                    }
+                };
+                // The candidate's value must be recomputed per height:
+                // the comparison row changes as the stack pops.
+                if top_val > f(r, c) {
+                    stack.pop();
+                } else if h < rows.len() {
+                    stack.push((c, None));
+                    break;
+                } else {
+                    break;
+                }
+            }
+        }
+        reduced = stack.into_iter().map(|(c, _)| c).collect();
+        &reduced
+    } else {
+        cols
+    };
     // Recurse on odd-indexed rows.
     let odd: Vec<usize> = rows.iter().copied().skip(1).step_by(2).collect();
-    smawk_rec(&odd, &cols, f, out);
+    smawk_rec(&odd, cols, f, out);
     // INTERPOLATE even-indexed rows between their neighbours' argmins.
     let mut cpos = 0usize;
     for (k, &r) in rows.iter().enumerate().step_by(2) {
@@ -206,12 +273,28 @@ fn dc_rec_slice<F>(
 /// evaluations, sequential span); divide-and-conquer pays a `log r`
 /// work factor for a polylogarithmic span — the same trade the paper
 /// navigates between [RV94] and [AKPS90].
+///
+/// Both engines return the **leftmost** argmin per row, bit-for-bit:
+/// strategy choice never changes a witness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RowMinimaAlgo {
+pub enum RowMinimaStrategy {
     #[default]
     Smawk,
     DivideConquer,
 }
+
+impl RowMinimaStrategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            RowMinimaStrategy::Smawk => "smawk",
+            RowMinimaStrategy::DivideConquer => "divide-conquer",
+        }
+    }
+}
+
+/// Former name of [`RowMinimaStrategy`], kept as an alias so existing
+/// call sites and params structs keep compiling.
+pub type RowMinimaAlgo = RowMinimaStrategy;
 
 /// Global minimum of a full Monge matrix with the given orientation.
 ///

@@ -42,12 +42,17 @@ pub enum CostKind {
     /// [`CostKind::CutQuery`] the evaluation itself records, so the
     /// ablation harness can attribute query volume to the arm tracing.
     InterestQuery,
+    /// One table probe inside an LCA query: binary lifting charges one
+    /// step per jump level examined (grows with `log depth`), the
+    /// sparse-table RMQ path charges exactly one per query — the gauge
+    /// the O(1)-query acceptance check reads.
+    LcaStep,
     /// Anything else (bookkeeping, scans, sorts).
     Misc,
 }
 
 impl CostKind {
-    pub const ALL: [CostKind; 9] = [
+    pub const ALL: [CostKind; 10] = [
         CostKind::CutQuery,
         CostKind::RangeNode,
         CostKind::MongeEntry,
@@ -56,6 +61,7 @@ impl CostKind {
         CostKind::Sample,
         CostKind::TreeOp,
         CostKind::InterestQuery,
+        CostKind::LcaStep,
         CostKind::Misc,
     ];
 
@@ -69,7 +75,8 @@ impl CostKind {
             CostKind::Sample => 5,
             CostKind::TreeOp => 6,
             CostKind::InterestQuery => 7,
-            CostKind::Misc => 8,
+            CostKind::LcaStep => 8,
+            CostKind::Misc => 9,
         }
     }
 
@@ -83,6 +90,7 @@ impl CostKind {
             CostKind::Sample => "sample",
             CostKind::TreeOp => "tree_op",
             CostKind::InterestQuery => "interest_query",
+            CostKind::LcaStep => "lca_step",
             CostKind::Misc => "misc",
         }
     }
@@ -94,7 +102,7 @@ impl CostKind {
 #[derive(Debug)]
 pub struct Meter {
     enabled: bool,
-    counters: [AtomicU64; 9],
+    counters: [AtomicU64; 10],
     /// phase name -> critical-path units recorded for that phase.
     depths: Mutex<BTreeMap<&'static str, u64>>,
 }
@@ -196,13 +204,14 @@ pub struct CostReport {
 }
 
 impl CostReport {
-    /// Total work across all kinds. [`CostKind::InterestQuery`] is an
-    /// *attribution* gauge layered over the cut queries it re-counts,
-    /// so it is excluded here to avoid double counting.
+    /// Total work across all kinds. [`CostKind::InterestQuery`] and
+    /// [`CostKind::LcaStep`] are *attribution* gauges layered over work
+    /// other counters already record (cut queries, tree probes), so they
+    /// are excluded here to avoid double counting.
     pub fn total_work(&self) -> u64 {
         self.work
             .iter()
-            .filter(|&(&k, _)| k != CostKind::InterestQuery)
+            .filter(|&(&k, _)| k != CostKind::InterestQuery && k != CostKind::LcaStep)
             .map(|(_, v)| v)
             .sum()
     }

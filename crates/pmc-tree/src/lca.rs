@@ -1,10 +1,18 @@
-//! Binary-lifting LCA and level-ancestor queries.
+//! Binary-lifting LCA, level-ancestor queries, and the pluggable
+//! [`LcaEngine`] that dispatches between lifting and the O(1)
+//! sparse-table path.
 //!
 //! The interest search (§4.1.3) binary-searches along root-to-vertex
 //! chains; [`LcaTable::ancestor_at_depth`] provides the `O(log n)` jump
 //! primitive. Construction is `O(n log n)` work, queries `O(log n)`.
+//! For the pure-LCA volume (one query per graph edge in the coverage
+//! build, Lemma A.1) [`LcaStrategy::SparseTable`] swaps in
+//! [`crate::rmq::SparseLca`] — O(1) per query — while level-ancestor
+//! queries always stay with the lifting table.
 
+use crate::rmq::SparseLca;
 use crate::rooted::RootedTree;
+use pmc_parallel::meter::{CostKind, Meter};
 
 /// Sparse jump-pointer table over a [`RootedTree`].
 #[derive(Debug, Clone)]
@@ -35,10 +43,28 @@ impl LcaTable {
         self.depth[v as usize]
     }
 
-    /// The `k`-th ancestor of `v` (clamped at the root).
-    pub fn kth_ancestor(&self, mut v: u32, mut k: u32) -> u32 {
+    /// Number of jump levels in the table (`ceil(log2 n)`, at least 1).
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.up.len()
+    }
+
+    /// The `k`-th ancestor of `v`, **saturating at the root** when `k`
+    /// exceeds `depth(v)`.
+    ///
+    /// The saturation must be explicit: the jump loop below only walks
+    /// `up.len()` levels, so bits of `k` at positions `>= up.len()`
+    /// would otherwise be *silently dropped* (e.g. `n = 8`, `k = 8`
+    /// would return `v` unchanged instead of the root). Clamping `k` to
+    /// `depth(v)` first is always representable — `depth(v) < n <=
+    /// 2^levels` — and pins the contract to "walk to the root, stop
+    /// there".
+    pub fn kth_ancestor(&self, mut v: u32, k: u32) -> u32 {
+        debug_assert!((v as usize) < self.depth.len(), "vertex out of range");
+        let mut k = k.min(self.depth[v as usize]);
         let mut level = 0;
-        while k > 0 && level < self.up.len() {
+        while k > 0 {
+            debug_assert!(level < self.up.len(), "clamped k must fit the table");
             if k & 1 == 1 {
                 v = self.up[level][v as usize];
             }
@@ -52,7 +78,9 @@ impl LcaTable {
     pub fn ancestor_at_depth(&self, v: u32, d: u32) -> u32 {
         let dv = self.depth[v as usize];
         assert!(d <= dv, "requested depth below vertex");
-        self.kth_ancestor(v, dv - d)
+        let a = self.kth_ancestor(v, dv - d);
+        debug_assert_eq!(self.depth[a as usize], d, "level-ancestor landed off-depth");
+        a
     }
 
     /// Lowest common ancestor of `a` and `b`.
@@ -81,6 +109,182 @@ impl LcaTable {
     }
 }
 
+/// Which engine answers plain `lca(a, b)` queries. Mirrors
+/// `InterestStrategy`/`RowMinimaStrategy`: a params enum with a
+/// human-readable [`name`](LcaStrategy::name) for ablation tables.
+///
+/// Level-ancestor queries (`kth_ancestor`, `ancestor_at_depth`) are not
+/// affected — both strategies keep the binary-lifting table for those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LcaStrategy {
+    /// Binary lifting: `O(n log n)` build, `O(log n)` table probes per
+    /// query.
+    Lifting,
+    /// Euler tour + block-decomposed sparse table
+    /// ([`crate::rmq::SparseLca`]): `O(n)` build words, one probe per
+    /// query.
+    #[default]
+    SparseTable,
+}
+
+impl LcaStrategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            LcaStrategy::Lifting => "lifting",
+            LcaStrategy::SparseTable => "sparse-table",
+        }
+    }
+}
+
+/// Anything that can answer LCA queries with metered step accounting.
+///
+/// `lca_metered` charges [`CostKind::LcaStep`] with the number of table
+/// probes the query performs — `levels()` for binary lifting (grows
+/// with `log n`), exactly 1 for the sparse-table path. The ablation
+/// harness reads this gauge to *record* (not assert) that the O(1)
+/// engine's per-query cost does not grow with depth.
+pub trait LcaOracle: Sync {
+    /// Lowest common ancestor of `a` and `b`.
+    fn lca(&self, a: u32, b: u32) -> u32;
+    /// Depth of vertex `v` (named to avoid colliding with the inherent
+    /// `depth` accessors of the implementors).
+    fn node_depth(&self, v: u32) -> u32;
+    /// [`LcaOracle::lca`] plus a [`CostKind::LcaStep`] charge per table
+    /// probe.
+    fn lca_metered(&self, a: u32, b: u32, meter: &Meter) -> u32;
+}
+
+impl LcaOracle for LcaTable {
+    #[inline]
+    fn lca(&self, a: u32, b: u32) -> u32 {
+        LcaTable::lca(self, a, b)
+    }
+
+    #[inline]
+    fn node_depth(&self, v: u32) -> u32 {
+        self.depth(v)
+    }
+
+    #[inline]
+    fn lca_metered(&self, a: u32, b: u32, meter: &Meter) -> u32 {
+        // The lifting descent examines every jump level once (plus the
+        // equalizing kth_ancestor walk, same order) — charge one step
+        // per level so the gauge scales like the real probe count.
+        meter.add(CostKind::LcaStep, self.levels() as u64);
+        LcaTable::lca(self, a, b)
+    }
+}
+
+impl LcaOracle for SparseLca {
+    #[inline]
+    fn lca(&self, a: u32, b: u32) -> u32 {
+        SparseLca::lca(self, a, b)
+    }
+
+    #[inline]
+    fn node_depth(&self, v: u32) -> u32 {
+        self.depth(v)
+    }
+
+    #[inline]
+    fn lca_metered(&self, a: u32, b: u32, meter: &Meter) -> u32 {
+        // One O(1) RMQ probe, whatever the tree depth.
+        meter.bump(CostKind::LcaStep);
+        SparseLca::lca(self, a, b)
+    }
+}
+
+/// The LCA substrate a solver context carries: always the lifting table
+/// (level ancestors need it), plus the O(1) sparse structure when
+/// [`LcaStrategy::SparseTable`] is selected. `lca`/`distance` dispatch
+/// on the strategy; `kth_ancestor`/`ancestor_at_depth` delegate to the
+/// lifting table unconditionally.
+#[derive(Debug, Clone)]
+pub struct LcaEngine {
+    lifting: LcaTable,
+    sparse: Option<SparseLca>,
+}
+
+impl LcaEngine {
+    pub fn build(tree: &RootedTree, strategy: LcaStrategy, meter: &Meter) -> Self {
+        let lifting = LcaTable::build(tree);
+        let sparse = match strategy {
+            LcaStrategy::Lifting => None,
+            LcaStrategy::SparseTable => Some(SparseLca::build(tree, meter)),
+        };
+        LcaEngine { lifting, sparse }
+    }
+
+    /// The strategy this engine was built with.
+    #[inline]
+    pub fn strategy(&self) -> LcaStrategy {
+        if self.sparse.is_some() {
+            LcaStrategy::SparseTable
+        } else {
+            LcaStrategy::Lifting
+        }
+    }
+
+    /// The underlying binary-lifting table (level-ancestor substrate).
+    #[inline]
+    pub fn table(&self) -> &LcaTable {
+        &self.lifting
+    }
+
+    #[inline]
+    pub fn depth(&self, v: u32) -> u32 {
+        self.lifting.depth(v)
+    }
+
+    /// See [`LcaTable::kth_ancestor`] — saturates at the root.
+    #[inline]
+    pub fn kth_ancestor(&self, v: u32, k: u32) -> u32 {
+        self.lifting.kth_ancestor(v, k)
+    }
+
+    /// See [`LcaTable::ancestor_at_depth`].
+    #[inline]
+    pub fn ancestor_at_depth(&self, v: u32, d: u32) -> u32 {
+        self.lifting.ancestor_at_depth(v, d)
+    }
+
+    #[inline]
+    pub fn lca(&self, a: u32, b: u32) -> u32 {
+        match &self.sparse {
+            Some(s) => s.lca(a, b),
+            None => self.lifting.lca(a, b),
+        }
+    }
+
+    #[inline]
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        match &self.sparse {
+            Some(s) => s.distance(a, b),
+            None => self.lifting.distance(a, b),
+        }
+    }
+}
+
+impl LcaOracle for LcaEngine {
+    #[inline]
+    fn lca(&self, a: u32, b: u32) -> u32 {
+        LcaEngine::lca(self, a, b)
+    }
+
+    #[inline]
+    fn node_depth(&self, v: u32) -> u32 {
+        self.depth(v)
+    }
+
+    #[inline]
+    fn lca_metered(&self, a: u32, b: u32, meter: &Meter) -> u32 {
+        match &self.sparse {
+            Some(s) => s.lca_metered(a, b, meter),
+            None => self.lifting.lca_metered(a, b, meter),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +303,29 @@ mod tests {
         assert_eq!(l.kth_ancestor(6, 2), 1);
         assert_eq!(l.kth_ancestor(6, 3), 0);
         assert_eq!(l.kth_ancestor(6, 99), 0); // clamped
+    }
+
+    #[test]
+    fn kth_ancestor_saturates_when_k_exceeds_table_levels() {
+        // Regression: a path of 8 vertices yields a 4-level table, and
+        // before the clamp any k whose set bits all sat at positions
+        // >= levels (k = 16, 32, ...) walked zero levels and returned v
+        // unchanged instead of saturating at the root.
+        let parent: Vec<u32> = (0..8u32).map(|v| v.saturating_sub(1)).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let l = LcaTable::build(&t);
+        for k in [8u32, 16, 32, 64, 128, 1 << 20, u32::MAX] {
+            assert_eq!(l.kth_ancestor(7, k), 0, "k={k} must saturate at root");
+            assert_eq!(l.kth_ancestor(3, k), 0, "k={k} must saturate at root");
+        }
+        // Exact jumps still land exactly.
+        assert_eq!(l.kth_ancestor(7, 7), 0);
+        assert_eq!(l.kth_ancestor(7, 6), 1);
+        // Tiny trees: every k saturates at the root immediately.
+        let t2 = RootedTree::from_parents(0, &[0, 0]);
+        let l2 = LcaTable::build(&t2);
+        assert_eq!(l2.kth_ancestor(1, u32::MAX), 0);
+        assert_eq!(l2.kth_ancestor(0, 5), 0);
     }
 
     #[test]
@@ -145,6 +372,58 @@ mod tests {
         assert_eq!(l.kth_ancestor(4095, 4095), 0);
         assert_eq!(l.ancestor_at_depth(4095, 1234), 1234);
         assert_eq!(l.distance(10, 20), 10);
+    }
+
+    #[test]
+    fn engine_strategies_agree_and_meter_steps() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        let n = 400u32;
+        let parent: Vec<u32> =
+            (0..n).map(|v| if v == 0 { 0 } else { rng.random_range(0..v) }).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let lifting = LcaEngine::build(&t, LcaStrategy::Lifting, &Meter::disabled());
+        let sparse = LcaEngine::build(&t, LcaStrategy::SparseTable, &Meter::disabled());
+        assert_eq!(lifting.strategy(), LcaStrategy::Lifting);
+        assert_eq!(sparse.strategy(), LcaStrategy::SparseTable);
+        let (ml, ms) = (Meter::enabled(), Meter::enabled());
+        for _ in 0..200 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            assert_eq!(lifting.lca_metered(a, b, &ml), sparse.lca_metered(a, b, &ms));
+            assert_eq!(lifting.distance(a, b), sparse.distance(a, b));
+            assert_eq!(lifting.kth_ancestor(a, u32::MAX), 0);
+            assert_eq!(sparse.kth_ancestor(a, u32::MAX), 0);
+        }
+        // Sparse charges exactly one step per query; lifting charges
+        // levels() per query (> 1 for n = 400).
+        assert_eq!(ms.get(CostKind::LcaStep), 200);
+        assert_eq!(ml.get(CostKind::LcaStep), 200 * lifting.table().levels() as u64);
+        assert!(ml.get(CostKind::LcaStep) > ms.get(CostKind::LcaStep));
+    }
+
+    #[test]
+    fn lca_step_constant_per_query_as_depth_grows() {
+        // The acceptance gauge: sparse-table steps/query must not grow
+        // with tree depth, lifting's must.
+        let mut lift_prev = 0u64;
+        for n in [1u32 << 6, 1 << 10, 1 << 14] {
+            let parent: Vec<u32> = (0..n).map(|v| v.saturating_sub(1)).collect();
+            let t = RootedTree::from_parents(0, &parent);
+            let sparse = LcaEngine::build(&t, LcaStrategy::SparseTable, &Meter::disabled());
+            let lifting = LcaEngine::build(&t, LcaStrategy::Lifting, &Meter::disabled());
+            let (ms, ml) = (Meter::enabled(), Meter::enabled());
+            for q in 0..64u32 {
+                let a = q % n;
+                let b = n - 1 - (q % n);
+                assert_eq!(sparse.lca_metered(a, b, &ms), lifting.lca_metered(a, b, &ml));
+            }
+            assert_eq!(ms.get(CostKind::LcaStep), 64, "O(1): one step per query at n={n}");
+            let lift_now = ml.get(CostKind::LcaStep);
+            assert!(lift_now > lift_prev, "lifting steps grow with depth at n={n}");
+            lift_prev = lift_now;
+        }
     }
 
     #[test]

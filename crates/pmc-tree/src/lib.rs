@@ -10,9 +10,13 @@
 //!   machinery of Lemma A.1 (computed by the Euler-tour technique,
 //!   implemented as iterative DFS so path-shaped trees do not overflow
 //!   the stack);
-//! * [`euler`]: the explicit Euler tour ([J'92]) with sparse-table RMQ
-//!   LCA in O(1) per query;
-//! * [`lca`]: binary-lifting LCA and level ancestors;
+//! * [`euler`]: the explicit Euler tour ([J'92]) with a full sparse
+//!   table (the O(n log n)-word cross-check);
+//! * [`rmq`]: the block-decomposed O(1) RMQ ([`rmq::BlockRmq`]) and the
+//!   production Euler-tour LCA built on it ([`rmq::SparseLca`]);
+//! * [`lca`]: binary-lifting LCA, level ancestors, and the pluggable
+//!   [`lca::LcaEngine`] dispatching between the two via
+//!   [`lca::LcaStrategy`];
 //! * [`paths`]: heavy-path and bough decompositions — both satisfy
 //!   Property 4.3 (any root-to-leaf path meets `O(log n)` decomposition
 //!   paths) — plus the Root-paths query structure of Lemma 4.5;
@@ -23,10 +27,12 @@ pub mod centroid;
 pub mod euler;
 pub mod lca;
 pub mod paths;
+pub mod rmq;
 pub mod rooted;
 
 pub use centroid::CentroidDecomposition;
 pub use euler::EulerTour;
-pub use lca::LcaTable;
+pub use lca::{LcaEngine, LcaOracle, LcaStrategy, LcaTable};
 pub use paths::{PathDecomposition, PathStrategy};
+pub use rmq::{BlockRmq, SparseLca};
 pub use rooted::RootedTree;

@@ -12,7 +12,7 @@
 
 use parallel_mincut::prelude::*;
 use pmc_mincut::{CutQuery, InterestSearch, InterestStrategy};
-use pmc_tree::{LcaTable, RootedTree};
+use pmc_tree::RootedTree;
 
 fn main() {
     // The Figure-1 shape: solid tree edges, dashed non-tree edges that
@@ -40,8 +40,8 @@ fn main() {
         ],
     );
     let tree = std::sync::Arc::new(RootedTree::from_parents(0, &[0, 0, 0, 1, 2, 4]));
-    let lca = LcaTable::build(&tree);
     let meter = Meter::disabled();
+    let lca = LcaEngine::build(&tree, LcaStrategy::default(), &meter);
     let q = CutQuery::build(&g, &tree, &lca, 0.5, &meter);
     let search = InterestSearch::build(&q, &lca, InterestStrategy::default(), &meter);
 

@@ -43,5 +43,7 @@ pub mod prelude {
         two_respecting_mincut_in, ApproxParams, ApproxResult, ExactParams, ExactResult,
         GraphContext, InterestStrategy, TreeContext, TwoRespectParams,
     };
+    pub use pmc_monge::RowMinimaStrategy;
     pub use pmc_parallel::{CostKind, CostReport, Meter};
+    pub use pmc_tree::{LcaEngine, LcaStrategy};
 }

@@ -23,13 +23,13 @@
 
 use parallel_mincut::prelude::*;
 use pmc_mincut::{CutQuery, InterestSearch};
-use pmc_tree::{LcaTable, RootedTree};
+use pmc_tree::RootedTree;
 
 /// Per-spine-edge cut-query statistics of `arms()` for one strategy.
 fn arm_query_stats(levels: usize, strategy: InterestStrategy) -> (u64, f64) {
     let (g, parent, spine) = pmc_graph::generators::fishbone(levels, 8);
     let tree = std::sync::Arc::new(RootedTree::from_parents(0, &parent));
-    let lca = LcaTable::build(&tree);
+    let lca = LcaEngine::build(&tree, LcaStrategy::default(), &Meter::disabled());
     let q = CutQuery::build(&g, &tree, &lca, 0.5, &Meter::disabled());
     let is = InterestSearch::build(&q, &lca, strategy, &Meter::disabled());
     let (mut max, mut total) = (0u64, 0u64);

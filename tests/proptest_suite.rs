@@ -6,7 +6,7 @@
 
 use parallel_mincut::prelude::*;
 use pmc_graph::generators;
-use pmc_tree::{LcaTable, PathDecomposition, PathStrategy, RootedTree};
+use pmc_tree::{PathDecomposition, PathStrategy, RootedTree};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,7 +50,7 @@ proptest! {
     ) {
         let g = graph_from(n, extra, 9, seed);
         let t = spanning_tree(&g, 0);
-        let lca = LcaTable::build(&t);
+        let lca = LcaEngine::build(&t, LcaStrategy::default(), &Meter::disabled());
         let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.4, &Meter::disabled());
         let m = Meter::disabled();
         for e in 1..g.n() as u32 {
@@ -91,7 +91,7 @@ proptest! {
     ) {
         let g = graph_from(n, extra, 7, seed);
         let t = spanning_tree(&g, 0);
-        let lca = LcaTable::build(&t);
+        let lca = LcaEngine::build(&t, LcaStrategy::default(), &Meter::disabled());
         let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
         let d = PathDecomposition::build(&t, PathStrategy::HeavyPath, &m);
@@ -146,7 +146,7 @@ proptest! {
     ) {
         let g = graph_from(n, extra, 9, seed);
         let t = spanning_tree(&g, 0);
-        let lca = LcaTable::build(&t);
+        let lca = LcaEngine::build(&t, LcaStrategy::default(), &Meter::disabled());
         let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
         for strategy in [InterestStrategy::HeavyPath, InterestStrategy::Centroid] {
@@ -186,7 +186,7 @@ proptest! {
     ) {
         let g = graph_from(n, extra, max_w, seed);
         let t = spanning_tree(&g, 0);
-        let lca = LcaTable::build(&t);
+        let lca = LcaEngine::build(&t, LcaStrategy::default(), &Meter::disabled());
         let q = pmc_mincut::CutQuery::build(&g, &t, &lca, 0.5, &Meter::disabled());
         let m = Meter::disabled();
         let heavy =
@@ -361,5 +361,103 @@ proptest! {
         let x = pmc_sparsify::binomial_capped(n, p, cap, &mut rng);
         prop_assert!(x <= cap);
         prop_assert!(x <= n);
+    }
+
+    /// SMAWK, divide-and-conquer, and a brute row scan agree on values
+    /// AND leftmost argmins over random submodular Monge matrices, and
+    /// SMAWK's metered distinct-entry count stays within its linear
+    /// budget — undercutting D&C whenever D&C does nontrivial work
+    /// (tiny instances where D&C's count sits at its additive floor are
+    /// exempt; the calibrated threshold is `dc >= 3(r+c)`).
+    #[test]
+    fn smawk_matches_dc_and_brute_on_monge(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        density in 0u64..5,
+        span in 1u64..1000,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51AA);
+        use rand::Rng;
+        // Submodular Monge construction: row/col offsets plus the
+        // negated 2-D prefix sum of a non-negative grid — the mixed
+        // second difference is `-d[i+1][j+1] <= 0`. Small `density`
+        // produces plenty of ties, stressing the leftmost-argmin rule.
+        let a: Vec<u64> = (0..rows).map(|_| rng.random_range(0..span)).collect();
+        let b: Vec<u64> = (0..cols).map(|_| rng.random_range(0..span)).collect();
+        let mut p = vec![vec![0u64; cols + 1]; rows + 1];
+        for i in 1..=rows {
+            for j in 1..=cols {
+                let d = rng.random_range(0..=density);
+                p[i][j] = p[i - 1][j] + p[i][j - 1] + d - p[i - 1][j - 1];
+            }
+        }
+        let big = span + p[rows][cols];
+        let f = |i: usize, j: usize| big + a[i] + b[j] - p[i + 1][j + 1];
+        prop_assert!(pmc_monge::is_submodular(rows, cols, f));
+        let (ms, md) = (Meter::enabled(), Meter::enabled());
+        let sm = pmc_monge::smawk_row_minima(rows, cols, f, &ms);
+        let dc = pmc_monge::dc_row_minima(rows, cols, f, &md);
+        for i in 0..rows {
+            let (mut bj, mut bv) = (0usize, f(i, 0));
+            for j in 1..cols {
+                let v = f(i, j);
+                if v < bv {
+                    bv = v;
+                    bj = j;
+                }
+            }
+            prop_assert_eq!(sm[i].value, bv, "smawk value, row {}", i);
+            prop_assert_eq!(sm[i].col, bj, "smawk leftmost argmin, row {}", i);
+            prop_assert_eq!(dc[i].value, bv, "dc value, row {}", i);
+            prop_assert_eq!(dc[i].col, bj, "dc leftmost argmin, row {}", i);
+        }
+        let (se, de) = (ms.get(CostKind::MongeEntry), md.get(CostKind::MongeEntry));
+        let budget = 4 * (rows + cols) as u64 + 8;
+        prop_assert!(se <= budget, "smawk evals {} exceed linear budget {}", se, budget);
+        if de >= 3 * (rows + cols) as u64 {
+            prop_assert!(se <= de, "smawk {} > dc {} at {}x{}", se, de, rows, cols);
+        }
+    }
+
+    /// Sparse-table (Euler tour) LCA equals binary lifting on random
+    /// rooted trees under forced 1/2/4-thread pools, with the sparse
+    /// path charging exactly one [`CostKind::LcaStep`] per query.
+    #[test]
+    fn sparse_and_lifting_lca_agree_across_pools(
+        n in 2u32..400,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1CA);
+        use rand::Rng;
+        let parent: Vec<u32> =
+            (0..n).map(|v| if v == 0 { 0 } else { rng.random_range(0..v) }).collect();
+        let t = RootedTree::from_parents(0, &parent);
+        let pairs: Vec<(u32, u32)> = (0..64)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let steps = pool.install(|| {
+                let lifting = LcaEngine::build(&t, LcaStrategy::Lifting, &Meter::disabled());
+                let sparse =
+                    LcaEngine::build(&t, LcaStrategy::SparseTable, &Meter::disabled());
+                let meter = Meter::enabled();
+                for &(x, y) in &pairs {
+                    let l = lifting.lca(x, y);
+                    assert_eq!(sparse.lca(x, y), l, "lca({x},{y}) at {threads} threads");
+                    assert_eq!(
+                        pmc_tree::LcaOracle::lca_metered(&sparse, x, y, &meter),
+                        l
+                    );
+                    assert_eq!(sparse.distance(x, y), lifting.distance(x, y));
+                }
+                meter.get(CostKind::LcaStep)
+            });
+            prop_assert_eq!(steps, pairs.len() as u64, "O(1): one step per sparse query");
+        }
     }
 }

@@ -10,7 +10,7 @@
 
 use parallel_mincut::prelude::*;
 use pmc_mincut::{CutQuery, InterestSearch};
-use pmc_tree::{LcaTable, RootedTree};
+use pmc_tree::RootedTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,7 +49,7 @@ fn workloads() -> Vec<(String, Graph)> {
 fn arms_agree_with_each_other_and_with_brute_force() {
     for (name, g) in workloads() {
         let t = spanning_tree(&g, 0);
-        let lca = LcaTable::build(&t);
+        let lca = LcaEngine::build(&t, LcaStrategy::default(), &Meter::disabled());
         let q = CutQuery::build(&g, &t, &lca, 0.4, &Meter::disabled());
         let m = Meter::disabled();
         let heavy = InterestSearch::build(&q, &lca, InterestStrategy::HeavyPath, &m);
@@ -101,6 +101,52 @@ fn exact_pipeline_matches_stoer_wagner_under_both_strategies() {
                 side[v as usize] = true;
             }
             assert_eq!(cut_of_partition(&g, &side), got.cut.value, "{name} {strategy:?} side");
+        }
+    }
+}
+
+/// The O(1)-query substrate acceptance check: every `LcaStrategy` ×
+/// `RowMinimaStrategy` combination returns bit-identical cut values AND
+/// witness pairs, under forced 1/2/4-thread pools. LCAs are unique and
+/// both row-minima engines pin the leftmost argmin, so swapping either
+/// substrate (or the pool width) must not move a single bit of output.
+#[test]
+fn substrate_strategies_are_bit_identical_across_pools() {
+    let mut rng = StdRng::seed_from_u64(0x5AB5);
+    for trial in 0..4u32 {
+        let n = 24 + 8 * trial as usize;
+        let g = pmc_graph::generators::gnm_connected(n, 3 * n, 5, &mut rng);
+        let t = spanning_tree(&g, 0);
+        let m = Meter::disabled();
+        let mut reference: Option<(u64, (u32, u32))> = None;
+        for lca_strategy in [LcaStrategy::Lifting, LcaStrategy::SparseTable] {
+            for monge_algo in [RowMinimaStrategy::DivideConquer, RowMinimaStrategy::Smawk] {
+                for threads in [1usize, 2, 4] {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .expect("pool");
+                    let out = pool.install(|| {
+                        let params = TwoRespectParams {
+                            lca_strategy,
+                            monge_algo,
+                            ..TwoRespectParams::default()
+                        };
+                        two_respecting_mincut(&g, &t, &params, &m)
+                    });
+                    let label = format!(
+                        "trial {trial} {:?}/{:?} @ {threads} threads",
+                        lca_strategy, monge_algo
+                    );
+                    match reference {
+                        None => reference = Some((out.cut.value, out.pair)),
+                        Some((v, pair)) => {
+                            assert_eq!(out.cut.value, v, "{label}: cut value moved");
+                            assert_eq!(out.pair, pair, "{label}: witness pair moved");
+                        }
+                    }
+                }
+            }
         }
     }
 }
