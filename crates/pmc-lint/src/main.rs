@@ -1,0 +1,541 @@
+//! `pmc-lint` — the workspace's unsafe-audit and facade-discipline
+//! gate, run in CI as `cargo run -p pmc-lint` (nonzero exit on any
+//! violation).
+//!
+//! A dependency-free lexical scanner (this environment is offline, so
+//! no syn/clippy): each `.rs` file under `crates/` and `vendor/` is
+//! split into code, comments, and string literals by a small state
+//! machine, and the *code* stream is matched against five rules:
+//!
+//! | rule                    | violation                                              |
+//! |-------------------------|--------------------------------------------------------|
+//! | `unsafe-without-safety` | `unsafe` without an adjacent `SAFETY`/`# Safety` comment |
+//! | `file-allow-unsafe`     | file-level `#![allow(unsafe_code)]` (must be per-item)  |
+//! | `facade`                | `std::sync`/`std::thread` in `vendor/rayon/src` outside the `sync.rs` facade |
+//! | `static-mut`            | any `static mut` item                                   |
+//! | `relaxed`               | `::Relaxed` ordering without a nearby justifying comment |
+//!
+//! Escape hatch: a comment `lint: allow(<rule>)` on the offending line
+//! or in the contiguous comment block directly above it. The pragma is
+//! deliberately per-site — there is no file-level opt-out.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const RULE_UNSAFE: &str = "unsafe-without-safety";
+const RULE_FILE_ALLOW: &str = "file-allow-unsafe";
+const RULE_FACADE: &str = "facade";
+const RULE_STATIC_MUT: &str = "static-mut";
+const RULE_RELAXED: &str = "relaxed";
+
+/// How many lines above a `::Relaxed` use may hold its justification —
+/// enough to cover a comment above a multi-line `compare_exchange`
+/// call, small enough that the comment stays adjacent.
+const RELAXED_COMMENT_WINDOW: usize = 8;
+
+/// One source line after lexing: the code outside comments and string
+/// literals, and the concatenated comment text.
+struct Line {
+    code: String,
+    comment: String,
+}
+
+#[derive(Debug)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Normal,
+    /// Nested block comment depth (Rust block comments nest).
+    Block(usize),
+    Str,
+    /// Raw string with this many `#`s in its delimiter.
+    RawStr(usize),
+}
+
+/// Split source into per-line code and comment streams, skipping the
+/// contents of string/char literals (so pattern text inside a literal —
+/// e.g. in this linter's own source — never trips a rule).
+fn lex(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Normal;
+    for raw in source.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                State::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 { State::Normal } else { State::Block(depth - 1) };
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else {
+                        if chars[i] == '"' {
+                            state = State::Normal;
+                            code.push('"');
+                        }
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    let closes = chars[i] == '"'
+                        && (i + hashes < chars.len() || hashes == 0)
+                        && chars[i + 1..].iter().take(hashes).all(|&c| c == '#')
+                        && chars[i + 1..].iter().take(hashes).count() == hashes;
+                    if closes {
+                        state = State::Normal;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Normal => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.push_str(&raw[char_byte_index(raw, i + 2)..]);
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if c == 'r'
+                        && matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
+                        && !prev_is_ident(&chars, i)
+                    {
+                        // r"..." / r#"..."# raw string: count the hashes.
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            code.push('r');
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Distinguish char literals from lifetimes.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to the closing
+                            // quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push('\'');
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push('\'');
+                            i += 3;
+                        } else {
+                            // A lifetime — plain code.
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(Line { code, comment });
+    }
+    lines
+}
+
+fn char_byte_index(s: &str, char_idx: usize) -> usize {
+    s.char_indices().nth(char_idx).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Does `code` contain `word` with identifier boundaries on both sides?
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Is the pragma `lint: allow(<rule>)` present on line `i` or in the
+/// contiguous comment/attribute block directly above it?
+fn pragma_allows(lines: &[Line], i: usize, rule: &str) -> bool {
+    let needle = format!("lint: allow({rule})");
+    if lines[i].comment.contains(&needle) {
+        return true;
+    }
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        let l = &lines[k];
+        let code = l.code.trim();
+        if code.is_empty() && l.comment.is_empty() {
+            break; // blank line ends the block
+        }
+        // Walk up through comment lines and attributes only.
+        if !code.is_empty() && !code.starts_with('#') {
+            break;
+        }
+        if l.comment.contains(&needle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is there a `SAFETY:`/`# Safety` comment adjacent to line `i` (same
+/// line, or in the contiguous comment/attribute block above)?
+fn has_safety_comment(lines: &[Line], i: usize) -> bool {
+    let is_safety = |c: &str| c.contains("SAFETY") || c.contains("# Safety");
+    if is_safety(&lines[i].comment) {
+        return true;
+    }
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        let l = &lines[k];
+        let code = l.code.trim();
+        if code.is_empty() && l.comment.is_empty() {
+            return false; // blank line ends adjacency
+        }
+        if !code.is_empty() && !code.starts_with('#') {
+            // A code line above: still accept its trailing comment (the
+            // unsafe item may sit inside a multi-line signature).
+            return is_safety(&l.comment);
+        }
+        if is_safety(&l.comment) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is any justification comment mentioning "Relaxed" within the window
+/// above (or on) line `i`?
+fn has_relaxed_comment(lines: &[Line], i: usize) -> bool {
+    let lo = i.saturating_sub(RELAXED_COMMENT_WINDOW);
+    lines[lo..=i].iter().any(|l| l.comment.to_ascii_lowercase().contains("relaxed"))
+}
+
+/// Does the facade-bypass rule apply to this file? Only the scheduler
+/// shim's sources are required to route through `crate::sync`; its
+/// `sync.rs` facade is where the `std` names are allowed to live.
+fn facade_scoped(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.contains("vendor/rayon/src/") && !p.ends_with("/sync.rs")
+}
+
+fn check_source(path: &Path, source: &str) -> Vec<Violation> {
+    let lines = lex(source);
+    let mut out = Vec::new();
+    let mut push = |i: usize, rule: &'static str, message: &str| {
+        out.push(Violation {
+            file: path.to_path_buf(),
+            line: i + 1,
+            rule,
+            message: message.to_string(),
+        });
+    };
+    let facade_applies = facade_scoped(path);
+    for i in 0..lines.len() {
+        let code = lines[i].code.as_str();
+        let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+
+        if compact.contains("#![allow(") && compact.contains("unsafe_code") {
+            if !pragma_allows(&lines, i, RULE_FILE_ALLOW) {
+                push(
+                    i,
+                    RULE_FILE_ALLOW,
+                    "file-level #![allow(unsafe_code)]; audit each unsafe item with a \
+                     per-item #[allow(unsafe_code)] instead",
+                );
+            }
+            continue;
+        }
+
+        if code.contains("static mut ") && !pragma_allows(&lines, i, RULE_STATIC_MUT) {
+            push(
+                i,
+                RULE_STATIC_MUT,
+                "`static mut` is unsynchronized shared state; use an atomic, a lock, \
+                 or interior mutability",
+            );
+        }
+
+        if has_word(code, "unsafe")
+            && !has_safety_comment(&lines, i)
+            && !pragma_allows(&lines, i, RULE_UNSAFE)
+        {
+            push(
+                i,
+                RULE_UNSAFE,
+                "unsafe without an adjacent SAFETY comment explaining why it is sound",
+            );
+        }
+
+        if facade_applies
+            && (code.contains("std::sync") || code.contains("std::thread"))
+            && !pragma_allows(&lines, i, RULE_FACADE)
+        {
+            push(
+                i,
+                RULE_FACADE,
+                "direct std::sync/std::thread use bypasses the crate::sync facade \
+                 (and with it the model checker)",
+            );
+        }
+
+        if code.contains("::Relaxed")
+            && !has_relaxed_comment(&lines, i)
+            && !pragma_allows(&lines, i, RULE_RELAXED)
+        {
+            push(
+                i,
+                RULE_RELAXED,
+                "Ordering::Relaxed without a nearby comment justifying why no \
+                 ordering is needed",
+            );
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "target" | ".git" | "node_modules") {
+                continue;
+            }
+            walk(&path, files);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            files.push(path);
+        }
+    }
+}
+
+/// The workspace root: an explicit argument, or two levels above this
+/// crate's manifest (crates/pmc-lint -> workspace), or the current dir.
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").exists() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for sub in ["crates", "vendor", "src"] {
+        walk(&root.join(sub), &mut files);
+    }
+    if files.is_empty() {
+        eprintln!("pmc-lint: no .rs files found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let mut violations = Vec::new();
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(source) => {
+                let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
+                violations.extend(check_source(&rel, &source));
+            }
+            Err(e) => {
+                eprintln!("pmc-lint: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("pmc-lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "pmc-lint: {} violation(s) in {} files scanned",
+            violations.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(path: &str, src: &str) -> Vec<&'static str> {
+        check_source(Path::new(path), src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged() {
+        let src = "fn f() {\n    unsafe { g(); }\n}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![RULE_UNSAFE]);
+    }
+
+    #[test]
+    fn unsafe_with_adjacent_safety_comment_passes() {
+        let src = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g(); }\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+        // Attributes between the comment and the unsafe are fine.
+        let src = "// SAFETY: audited.\n#[allow(unsafe_code)]\nunsafe fn f() {}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+        // Doc-comment Safety sections count for unsafe fns.
+        let src = "/// # Safety\n/// Caller must uphold X.\nunsafe fn f() {}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_safety_adjacency() {
+        let src = "// SAFETY: stale comment.\n\nfn f() {\n    unsafe { g(); }\n}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![RULE_UNSAFE]);
+    }
+
+    #[test]
+    fn file_level_allow_unsafe_is_flagged_but_per_item_passes() {
+        assert_eq!(
+            rules("crates/x/src/lib.rs", "#![allow(unsafe_code)]\n"),
+            vec![RULE_FILE_ALLOW]
+        );
+        // Per-item allow with its own SAFETY comment is the sanctioned
+        // form.
+        let src = "// SAFETY: audited.\n#[allow(unsafe_code)]\nunsafe fn f() {}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_bypass_is_scoped_to_the_shim() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(rules("vendor/rayon/src/pool.rs", src), vec![RULE_FACADE]);
+        assert!(rules("vendor/rayon/src/sync.rs", src).is_empty(), "the facade itself");
+        assert!(rules("crates/pmc-core/src/lib.rs", src).is_empty(), "outside the shim");
+        assert!(rules("vendor/rayon/tests/model.rs", src).is_empty(), "tests may observe");
+        let src = "std::thread::spawn(|| ());\n";
+        assert_eq!(rules("vendor/rayon/src/lib.rs", src), vec![RULE_FACADE]);
+    }
+
+    #[test]
+    fn static_mut_is_flagged() {
+        assert_eq!(
+            rules("crates/x/src/lib.rs", "static mut COUNTER: u32 = 0;\n"),
+            vec![RULE_STATIC_MUT]
+        );
+    }
+
+    #[test]
+    fn uncommented_relaxed_is_flagged() {
+        let src = "fn f(a: &AtomicUsize) {\n    a.load(Ordering::Relaxed);\n}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![RULE_RELAXED]);
+        let src = "fn f(a: &AtomicUsize) {\n    // Relaxed: monotone counter, no ordering.\n    a.load(Ordering::Relaxed);\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_comment_window_covers_multiline_calls() {
+        let src = "// Relaxed: pure admission counter.\nfn f(a: &AtomicUsize) {\n    a.compare_exchange_weak(\n        0,\n        1,\n        Ordering::Relaxed,\n        Ordering::Relaxed,\n    );\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_escapes_one_site() {
+        let src = "use std::sync::Mutex; // lint: allow(facade) -- test helper\n";
+        assert!(rules("vendor/rayon/src/pool.rs", src).is_empty());
+        let src = "// lint: allow(facade) -- test helper block\nuse std::sync::Mutex;\n";
+        assert!(rules("vendor/rayon/src/pool.rs", src).is_empty());
+        // The pragma names a specific rule; others still fire.
+        let src = "// lint: allow(relaxed)\nuse std::sync::Mutex;\n";
+        assert_eq!(rules("vendor/rayon/src/pool.rs", src), vec![RULE_FACADE]);
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_do_not_fire() {
+        let src = "fn f() { let s = \"std::sync is banned, unsafe too\"; }\n";
+        assert!(rules("vendor/rayon/src/pool.rs", src).is_empty());
+        let src = "// mentions std::thread and unsafe in prose only\nfn f() {}\n";
+        assert!(rules("vendor/rayon/src/pool.rs", src).is_empty());
+        let src = "fn f() { let s = r#\"static mut inside raw string\"#; }\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_and_lifetimes_lex_correctly() {
+        let src = "/* unsafe std::sync\n   static mut */\nfn f<'a>(x: &'a u32) -> &'a u32 { x }\n";
+        assert!(rules("vendor/rayon/src/pool.rs", src).is_empty());
+        // `unsafe_code` in cfg-attrs is not the word `unsafe`.
+        let src = "#[allow(unsafe_code)]\n// SAFETY: covered.\nunsafe fn g() {}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiline_string_state_persists() {
+        let src = "const S: &str = \"line one\nstd::sync::Mutex on line two\nunsafe too\";\nfn f() {}\n";
+        assert!(rules("vendor/rayon/src/pool.rs", src).is_empty());
+    }
+}

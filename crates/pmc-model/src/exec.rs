@@ -1,0 +1,435 @@
+//! One model execution: a set of real OS threads serialized by a token
+//! scheduler so that exactly one runs at a time.
+//!
+//! Every instrumented operation (mutex lock/unlock, condvar wait/notify,
+//! atomic access, spawn) is a *yield point*: the running thread hands
+//! the token back and the scheduler picks the next runnable thread —
+//! by forced prefix (replay), then by strategy. Because threads only
+//! ever run one-at-a-time and every scheduling decision is recorded,
+//! an execution is a pure function of its choice sequence: the recorded
+//! trace replays bit-for-bit.
+//!
+//! Termination has three shapes:
+//!
+//! * **Natural end** — every non-daemon thread finished. Daemon threads
+//!   (pool workers) are unwound via a [`ShutdownToken`] panic raised at
+//!   their next blocking/yield point and joined.
+//! * **Violation** — a thread panicked, the scheduler found a deadlock
+//!   (no runnable thread while a non-daemon is still alive), or the
+//!   step budget tripped (livelock). The execution's threads are
+//!   *leaked*: parked forever on the token condvar, never scheduled
+//!   again. Unwinding them is impossible in general — their destructors
+//!   block on application-level conditions that can no longer occur —
+//!   and a handful of parked threads per caught violation is cheap in a
+//!   test process.
+//! * **Shutdown-unwind free-for-all** — during the natural-end unwind,
+//!   instrumented primitives degrade to their raw `std` forms (real
+//!   blocking locks, immediate condvar returns) so `Drop` impls running
+//!   concurrently on several unwinding daemons stay safe without the
+//!   scheduler.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to unwind daemon threads at natural end of an
+/// execution. Never escapes `model_thread_main`.
+pub(crate) struct ShutdownToken;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadInfo {
+    pub status: Status,
+    pub daemon: bool,
+    pub name: String,
+}
+
+/// Everything mutable about an execution, under one lock; the paired
+/// condvar is the single rendezvous for token handoff.
+pub(crate) struct ExecState {
+    pub threads: Vec<ThreadInfo>,
+    /// Token holder: the one thread allowed to run right now.
+    pub active: Option<usize>,
+    /// Chosen thread per scheduling step — the schedule.
+    pub trace: Vec<usize>,
+    /// Runnable set at each step (alternatives, for DFS branching).
+    pub branch: Vec<Vec<usize>>,
+    /// Natural-end teardown in progress.
+    pub shutdown: bool,
+    /// Violation teardown: threads stay parked forever.
+    pub leaked: bool,
+    pub failure: Option<String>,
+    rng: u64,
+    /// Logical mutex ownership (key: mutex address).
+    mutex_owner: HashMap<usize, usize>,
+    /// FIFO condvar wait queues (key: condvar address).
+    cv_waiters: HashMap<usize, Vec<usize>>,
+    /// Execution-scoped lazy globals (key: static's address).
+    globals: HashMap<usize, Arc<dyn Any + Send + Sync>>,
+    mutations: Vec<String>,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    forced: Vec<usize>,
+    max_steps: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution this thread belongs to, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// `Some(guard)` when the token was granted; `None` when the execution
+/// is tearing down while the caller is already unwinding (free-for-all
+/// mode — proceed without the scheduler).
+type Token<'a> = Option<MutexGuard<'a, ExecState>>;
+
+impl Execution {
+    pub(crate) fn new(
+        seed: u64,
+        max_steps: usize,
+        forced: Vec<usize>,
+        mutations: Vec<String>,
+    ) -> Arc<Self> {
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                active: None,
+                trace: Vec::new(),
+                branch: Vec::new(),
+                shutdown: false,
+                leaked: false,
+                failure: None,
+                rng: seed,
+                mutex_owner: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                globals: HashMap::new(),
+                mutations,
+            }),
+            cv: Condvar::new(),
+            forced,
+            max_steps,
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, st: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+        self.cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Park until this thread holds the token, the execution shuts
+    /// down (panic [`ShutdownToken`], or return `None` when already
+    /// unwinding), or — on violation teardown — forever.
+    fn wait_for_token<'a>(&'a self, mut st: MutexGuard<'a, ExecState>, me: usize) -> Token<'a> {
+        loop {
+            if st.shutdown {
+                if std::thread::panicking() {
+                    return None;
+                }
+                drop(st);
+                panic_any(ShutdownToken);
+            }
+            if !st.leaked && st.active == Some(me) {
+                return Some(st);
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// Hand the token back and wait to be scheduled again — the one
+    /// interleaving point every instrumented operation funnels through.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.shutdown {
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            panic_any(ShutdownToken);
+        }
+        st.active = None;
+        self.cv.notify_all();
+        let _token = self.wait_for_token(st, me);
+    }
+
+    /// Acquire logical ownership of mutex `id`, blocking (in model
+    /// time) while another thread owns it. A yield point.
+    pub(crate) fn mutex_lock(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        let mut st = self.lock();
+        loop {
+            if st.shutdown || st.leaked {
+                // Free-for-all: the raw std lock in the caller provides
+                // mutual exclusion between concurrently unwinding
+                // threads; logical bookkeeping no longer matters.
+                return;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = st.mutex_owner.entry(id) {
+                e.insert(me);
+                return;
+            }
+            st.threads[me].status = Status::BlockedMutex(id);
+            st.active = None;
+            self.cv.notify_all();
+            match self.wait_for_token(st, me) {
+                Some(g) => st = g,
+                None => return,
+            }
+        }
+    }
+
+    /// Release logical ownership of mutex `id`, waking its waiters.
+    pub(crate) fn mutex_unlock(&self, me: usize, id: usize) {
+        let mut st = self.lock();
+        if st.shutdown || st.leaked {
+            st.mutex_owner.remove(&id);
+            return;
+        }
+        debug_assert_eq!(st.mutex_owner.get(&id), Some(&me), "unlock by non-owner");
+        st.mutex_owner.remove(&id);
+        for t in st.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(id) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Atomically release mutex `mid` and block on condvar `cid` until
+    /// notified. The caller reacquires the mutex itself afterwards.
+    pub(crate) fn condvar_wait_block(&self, me: usize, cid: usize, mid: usize) {
+        let mut st = self.lock();
+        if st.shutdown || st.leaked {
+            return;
+        }
+        st.mutex_owner.remove(&mid);
+        for t in st.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(mid) {
+                t.status = Status::Runnable;
+            }
+        }
+        st.threads[me].status = Status::BlockedCondvar(cid);
+        st.cv_waiters.entry(cid).or_default().push(me);
+        st.active = None;
+        self.cv.notify_all();
+        let _token = self.wait_for_token(st, me);
+    }
+
+    /// Wake the first (`all == false`) or every waiter of condvar
+    /// `cid`. Notifications with no waiter are lost — real condvar
+    /// semantics, which is exactly what lost-wakeup bugs exploit.
+    pub(crate) fn condvar_notify(&self, cid: usize, all: bool) {
+        let mut st = self.lock();
+        if st.shutdown || st.leaked {
+            return;
+        }
+        let waiters = st.cv_waiters.entry(cid).or_default();
+        let n = if all { waiters.len() } else { waiters.len().min(1) };
+        let woken: Vec<usize> = waiters.drain(..n).collect();
+        for t in woken {
+            st.threads[t].status = Status::Runnable;
+        }
+    }
+
+    /// Register and start a model thread. The closure runs once the
+    /// scheduler first grants it the token.
+    pub(crate) fn spawn(self: &Arc<Self>, daemon: bool, name: &str, f: Box<dyn FnOnce() + Send>) {
+        let idx = {
+            let mut st = self.lock();
+            st.threads.push(ThreadInfo {
+                status: Status::Runnable,
+                daemon,
+                name: name.to_string(),
+            });
+            st.threads.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("pmc-model-{name}-{idx}"))
+            .spawn(move || model_thread_main(exec, idx, f))
+            .expect("spawning a model thread");
+        self.handles.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+    }
+
+    fn finish(&self, me: usize, err: Option<Box<dyn Any + Send>>) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        if let Some(payload) = err {
+            if !payload.is::<ShutdownToken>() && st.failure.is_none() {
+                st.failure = Some(format!(
+                    "thread {me} ({}) panicked: {}",
+                    st.threads[me].name,
+                    panic_message(payload.as_ref())
+                ));
+            }
+        }
+        if st.active == Some(me) {
+            st.active = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Execution-scoped lazy global: one instance per execution per
+    /// `key` (callers pass the address of their static).
+    pub(crate) fn global(
+        self: &Arc<Self>,
+        key: usize,
+        init: &mut dyn FnMut() -> Arc<dyn Any + Send + Sync>,
+    ) -> Arc<dyn Any + Send + Sync> {
+        if let Some(g) = self.lock().globals.get(&key) {
+            return Arc::clone(g);
+        }
+        // Init outside the state lock: it may itself hit yield points.
+        let value = init();
+        let mut st = self.lock();
+        Arc::clone(st.globals.entry(key).or_insert(value))
+    }
+
+    pub(crate) fn mutation_enabled(&self, name: &str) -> bool {
+        self.lock().mutations.iter().any(|m| m == name)
+    }
+
+    pub(crate) fn fail(&self, message: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+    }
+
+    /// Drive the execution to completion on the calling (non-model)
+    /// thread. Returns the recorded trace, per-step runnable sets, and
+    /// the failure, if any.
+    pub(crate) fn run_scheduler(self: &Arc<Self>) -> (Vec<usize>, Vec<Vec<usize>>, Option<String>) {
+        loop {
+            let mut st = self.lock();
+            while st.active.is_some() {
+                st = self.wait(st);
+            }
+            if st.failure.is_some() {
+                break;
+            }
+            if st.threads.iter().all(|t| t.daemon || t.status == Status::Finished) {
+                break;
+            }
+            let runnable: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let dump: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("  thread {i} ({}): {:?}", t.name, t.status))
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: no runnable thread while a non-daemon thread is alive\n{}",
+                    dump.join("\n")
+                ));
+                break;
+            }
+            if st.trace.len() >= self.max_steps {
+                st.failure = Some(format!(
+                    "step budget exceeded ({} scheduling steps): livelock or runaway loop",
+                    self.max_steps
+                ));
+                break;
+            }
+            let k = st.trace.len();
+            let chosen = match self.forced.get(k) {
+                Some(&f) if runnable.contains(&f) => f,
+                // Off the forced prefix (or the forced choice is no
+                // longer runnable — divergence): deterministic-random.
+                _ => {
+                    let r = splitmix(&mut st.rng);
+                    runnable[(r % runnable.len() as u64) as usize]
+                }
+            };
+            st.branch.push(runnable);
+            st.trace.push(chosen);
+            st.active = Some(chosen);
+            self.cv.notify_all();
+        }
+
+        let mut st = self.lock();
+        let trace = st.trace.clone();
+        let branch = st.branch.clone();
+        let failure = st.failure.clone();
+        if failure.is_some() {
+            // Leak: park every surviving thread forever (see module
+            // docs for why unwinding them is not possible in general).
+            st.leaked = true;
+            self.cv.notify_all();
+            drop(st);
+            self.handles.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        } else {
+            st.shutdown = true;
+            self.cv.notify_all();
+            drop(st);
+            let handles: Vec<_> =
+                self.handles.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        (trace, branch, failure)
+    }
+}
+
+fn model_thread_main(exec: Arc<Execution>, idx: usize, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), idx)));
+    let entered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let st = exec.lock();
+        // Drop the granted token guard immediately: holding it across
+        // `f` would block every other participant on the state lock.
+        exec.wait_for_token(st, idx).is_some()
+    }));
+    match entered {
+        Ok(true) => {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            exec.finish(idx, result.err());
+        }
+        Ok(false) => exec.finish(idx, None),
+        Err(payload) => exec.finish(idx, Some(payload)),
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}

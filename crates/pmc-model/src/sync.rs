@@ -1,0 +1,298 @@
+//! Instrumented drop-in replacements for the `std::sync` primitives.
+//!
+//! On a model thread (inside [`crate::run`]/[`crate::explore`]) every
+//! operation routes through the execution's token scheduler: locks
+//! block in *model time*, condvar waits park the model thread, atomics
+//! insert a yield point before the real operation. Off a model thread
+//! the types behave exactly like their `std` counterparts (poison is
+//! swallowed via `into_inner`, matching how the workspace uses std
+//! locks), so code compiled against them — e.g. `vendor/rayon` with its
+//! `model` feature on — runs normally outside an exploration.
+//!
+//! Identity of a lock or condvar is its address, which is stable for
+//! the workspace's usage (locks live in `Arc`s, statics, or a stack
+//! frame that outlives every waiter).
+
+use crate::exec;
+
+/// A mutex whose blocking is visible to the model scheduler.
+pub struct Mutex<T> {
+    data: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]: releases the raw lock first, then the logical
+/// (model) ownership, so the next logically-granted thread always finds
+/// the raw lock free.
+pub struct MutexGuard<'a, T> {
+    raw: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+    /// `Some(thread index)` when the logical ownership must be released
+    /// on drop (taken by `Condvar::wait`, which releases it itself).
+    model: Option<usize>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { data: std::sync::Mutex::new(value) }
+    }
+
+    fn id(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match exec::current() {
+            Some((e, me)) => {
+                e.mutex_lock(me, self.id());
+                // Logical ownership granted: the raw lock is normally
+                // free. During shutdown free-for-all it may be briefly
+                // contended by another unwinding thread — block on it
+                // for real then.
+                let raw = match self.data.try_lock() {
+                    Ok(g) => g,
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        self.data.lock().unwrap_or_else(|p| p.into_inner())
+                    }
+                };
+                MutexGuard { raw: Some(raw), lock: self, model: Some(me) }
+            }
+            None => MutexGuard {
+                raw: Some(self.data.lock().unwrap_or_else(|p| p.into_inner())),
+                lock: self,
+                model: None,
+            },
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Raw before logical: see the guard's doc comment.
+        drop(self.raw.take());
+        if let Some(me) = self.model.take() {
+            if let Some((e, cur)) = exec::current() {
+                debug_assert_eq!(me, cur);
+                e.mutex_unlock(cur, self.lock.id());
+                // Release is a choice point too: who wins the freed
+                // lock is part of the schedule space.
+                e.yield_point(cur);
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.raw.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.raw.as_mut().expect("guard accessed after release")
+    }
+}
+
+/// A condition variable whose waits park the model thread.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    fn id(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match guard.model.take() {
+            Some(me) => {
+                let lock = guard.lock;
+                let mid = lock.id();
+                // Release the raw lock, then atomically (in model time)
+                // release logical ownership and park on the condvar.
+                drop(guard);
+                if let Some((e, cur)) = exec::current() {
+                    debug_assert_eq!(me, cur);
+                    e.condvar_wait_block(cur, self.id(), mid);
+                }
+                // Notified (or shutting down): reacquire like everyone
+                // else — re-contention is a scheduling choice.
+                lock.lock()
+            }
+            None => {
+                let lock = guard.lock;
+                let raw = guard.raw.take().expect("guard accessed after release");
+                let raw = self.inner.wait(raw).unwrap_or_else(|p| p.into_inner());
+                MutexGuard { raw: Some(raw), lock, model: None }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((e, me)) = exec::current() {
+            e.condvar_notify(self.id(), false);
+            e.yield_point(me);
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((e, me)) = exec::current() {
+            e.condvar_notify(self.id(), true);
+            e.yield_point(me);
+        }
+        self.inner.notify_all();
+    }
+}
+
+/// Insert a scheduling choice point when on a model thread.
+#[inline]
+pub fn interleave() {
+    if let Some((e, me)) = exec::current() {
+        e.yield_point(me);
+    }
+}
+
+pub mod atomic {
+    //! Atomics with a yield point before every access. With exactly one
+    //! model thread running at a time, sequential consistency is what
+    //! the scheduler provides; the yield point is what exposes the
+    //! interleavings a weaker ordering would have allowed around it.
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $int) -> Self {
+                    Self { inner: <$std>::new(v) }
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    super::interleave();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $int, order: Ordering) {
+                    super::interleave();
+                    self.inner.store(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    super::interleave();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    super::interleave();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $int, order: Ordering) -> $int {
+                    super::interleave();
+                    self.inner.fetch_max(v, order)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    super::interleave();
+                    self.inner.compare_exchange_weak(current, new, success, failure)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                // Formatting must not schedule, so this reads the raw
+                // value without a yield point.
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            super::interleave();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            super::interleave();
+            self.inner.store(v, order)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        // No yield point: see the macro's Debug impl.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+}
+
+pub mod thread {
+    //! Thread operations visible to the model scheduler.
+
+    /// Spawn a detached thread. On a model thread the new thread is a
+    /// *daemon*: it may still be alive (blocked or scanning) when the
+    /// execution's non-daemon threads finish, at which point it is
+    /// unwound. Off a model thread this is a plain detached std spawn.
+    pub fn spawn_daemon<F>(name: &str, f: F) -> std::io::Result<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        match crate::exec::current() {
+            Some((e, me)) => {
+                e.spawn(true, name, Box::new(f));
+                // The spawn itself is a choice point: the child may be
+                // scheduled before the spawner's next operation.
+                e.yield_point(me);
+                Ok(())
+            }
+            None => std::thread::Builder::new().name(name.to_string()).spawn(f).map(|_| ()),
+        }
+    }
+
+    /// The model thread index, when on one. Distinct concurrent
+    /// participants have distinct indices — the model-world analogue of
+    /// `std::thread::current().id()` for sequentiality assertions.
+    pub fn model_index() -> Option<usize> {
+        crate::exec::current().map(|(_, i)| i)
+    }
+
+    /// A pure scheduling yield (no memory effect).
+    pub fn yield_now() {
+        super::interleave();
+    }
+}

@@ -19,9 +19,15 @@ pub fn sv_component_labels(g: &Graph) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
+    // Relaxed ordering throughout this kernel: labels only ever
+    // decrease (`fetch_min` lattice descent, so lost races are retried
+    // by the next round), every `par_iter` round ends in a join barrier
+    // that orders rounds against each other, and the change flags are
+    // only read after that barrier.
     loop {
         let changed = AtomicBool::new(false);
-        // Hooking: each edge pulls both endpoint labels to their minimum.
+        // Hooking: each edge pulls both endpoint labels to their
+        // minimum. (Relaxed: monotone descent + round barrier, above.)
         g.edges().par_iter().for_each(|e| {
             let lu = label[e.u as usize].load(Ordering::Relaxed);
             let lv = label[e.v as usize].load(Ordering::Relaxed);
@@ -29,11 +35,13 @@ pub fn sv_component_labels(g: &Graph) -> Vec<u32> {
                 if label[e.v as usize].fetch_min(lu, Ordering::Relaxed) > lu {
                     changed.store(true, Ordering::Relaxed);
                 }
+            // (Relaxed: same argument, mirrored direction.)
             } else if lv < lu && label[e.u as usize].fetch_min(lv, Ordering::Relaxed) > lv {
                 changed.store(true, Ordering::Relaxed);
             }
         });
         // Pointer jumping until labels are fixpoints of themselves.
+        // (Relaxed: monotone descent + round barrier, see above.)
         loop {
             let jumped = AtomicBool::new(false);
             (0..n).into_par_iter().for_each(|v| {
@@ -44,6 +52,8 @@ pub fn sv_component_labels(g: &Graph) -> Vec<u32> {
                     jumped.store(true, Ordering::Relaxed);
                 }
             });
+            // Relaxed flag reads: both happen after the round's join
+            // barrier, which is what orders them.
             if !jumped.load(Ordering::Relaxed) {
                 break;
             }

@@ -141,6 +141,8 @@ impl Meter {
     #[inline]
     pub fn add(&self, kind: CostKind, amount: u64) {
         if self.enabled {
+            // Relaxed: independent event counters; totals are only read
+            // from quiescent snapshots (`report`/`get` after a join).
             self.counters[kind.index()].fetch_add(amount, Ordering::Relaxed);
         }
     }
@@ -172,6 +174,8 @@ impl Meter {
 
     /// Current value of one counter.
     pub fn get(&self, kind: CostKind) -> u64 {
+        // Relaxed: a statistical snapshot; callers read after the
+        // metered parallel region has joined.
         self.counters[kind.index()].load(Ordering::Relaxed)
     }
 
@@ -190,6 +194,8 @@ impl Meter {
     /// Reset all counters and gauges.
     pub fn reset(&self) {
         for c in &self.counters {
+            // Relaxed: reset happens between metered regions, with no
+            // concurrent writers to order against.
             c.store(0, Ordering::Relaxed);
         }
         self.depths.lock().clear();

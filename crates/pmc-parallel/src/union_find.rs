@@ -106,15 +106,19 @@ impl ConcurrentUnionFind {
     }
 
     /// Representative of `x`'s set (with CAS path halving).
+    // Relaxed throughout `find`: parent pointers only move towards
+    // roots, any stale read is re-resolved on the next loop iteration,
+    // and cross-thread agreement is carried by `union`'s AcqRel CAS.
     pub fn find(&self, mut x: u32) -> u32 {
         loop {
             let p = self.parent[x as usize].load(Ordering::Relaxed);
             if p == x {
                 return x;
             }
+            // (Relaxed: see the note above `find`.)
             let gp = self.parent[p as usize].load(Ordering::Relaxed);
             if gp != p {
-                // Path halving; failure is benign.
+                // Path halving; failure is benign. (Relaxed: see above.)
                 let _ = self.parent[x as usize].compare_exchange_weak(
                     p,
                     gp,
@@ -136,6 +140,7 @@ impl ConcurrentUnionFind {
                 return false;
             }
             // Deterministic priority: link smaller root under larger.
+            // (Relaxed on failure: the retry re-reads fresh roots.)
             let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
             if self.parent[lo as usize]
                 .compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Relaxed)

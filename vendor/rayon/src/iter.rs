@@ -28,7 +28,8 @@
 
 use std::marker::PhantomData;
 use std::ops::Range;
-use std::sync::Arc;
+
+use crate::sync::Arc;
 
 /// Target number of leaves per pool thread. More leaves give better
 /// load balance; fewer give less join overhead. Eight is rayon's own
@@ -1331,17 +1332,18 @@ mod tests {
     /// pool, more than one thread participates.
     #[test]
     fn par_bridge_runs_on_multiple_threads() {
+        use crate::sync::Mutex;
         use std::collections::HashSet;
-        use std::sync::Mutex;
         let seen = Mutex::new(HashSet::new());
         let participated = (0..20).any(|_| {
             with_pool(4, || {
                 (0..512u32).par_bridge().for_each(|_| {
+                    // lint: allow(facade) — real thread identity, test-only.
                     std::thread::sleep(std::time::Duration::from_micros(50));
-                    seen.lock().unwrap().insert(std::thread::current().id());
+                    seen.lock().insert(std::thread::current().id()); // lint: allow(facade)
                 });
             });
-            seen.lock().unwrap().len() > 1
+            seen.lock().len() > 1
         });
         assert!(participated, "bridged chunks were never stolen");
     }

@@ -34,12 +34,14 @@
 //! match the real crate.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Lazy};
 
 pub mod iter;
 mod pool;
 mod sort;
+pub(crate) mod sync;
 
 pub mod prelude {
     pub use crate::iter::{
@@ -49,7 +51,7 @@ pub mod prelude {
 }
 
 pub(crate) fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    sync::thread::hardware_threads()
 }
 
 /// The identity of a pool: its thread count plus the budget of live
@@ -62,24 +64,45 @@ pub(crate) struct PoolContext {
     live_helpers: AtomicUsize,
 }
 
+fn new_max_pool_width() -> AtomicUsize {
+    AtomicUsize::new(1)
+}
+
 /// Widest pool ever built — an input to the worker cap in `pool.rs`.
-static MAX_POOL_WIDTH: AtomicUsize = AtomicUsize::new(1);
+/// Execution-scoped under the model checker, like every scheduler
+/// global (see `sync::Lazy`).
+static MAX_POOL_WIDTH: Lazy<AtomicUsize> = Lazy::new(new_max_pool_width);
 
 pub(crate) fn max_pool_width() -> usize {
-    MAX_POOL_WIDTH.load(Ordering::Relaxed)
+    // Relaxed: a monotone maximum read only as a heuristic input to the
+    // worker cap; no other memory is ordered through it.
+    MAX_POOL_WIDTH.get().load(Ordering::Relaxed)
 }
 
 impl PoolContext {
     fn new(num_threads: usize) -> Arc<Self> {
         let num_threads = num_threads.max(1);
-        MAX_POOL_WIDTH.fetch_max(num_threads, Ordering::Relaxed);
+        // Relaxed: monotone maximum, see `max_pool_width`.
+        MAX_POOL_WIDTH.get().fetch_max(num_threads, Ordering::Relaxed);
         Arc::new(PoolContext { num_threads, live_helpers: AtomicUsize::new(0) })
     }
 
     /// Claim a helper slot against *this pool's* budget of
     /// `num_threads - 1` live helpers.
     fn try_claim(self: &Arc<Self>) -> Option<HelperSlot> {
+        if sync::mutation("ignore_budget") {
+            // Seeded bug: hand out a slot regardless of the budget.
+            // `num_threads(1)` is no longer sequential, which the model
+            // sequentiality test must observe. (Relaxed: admission
+            // counter, see below.)
+            self.live_helpers.fetch_add(1, Ordering::Relaxed);
+            return Some(HelperSlot { ctx: Arc::clone(self) });
+        }
         let budget = self.num_threads.saturating_sub(1);
+        // Relaxed throughout: the counter is a pure admission budget.
+        // No data is published through it — job handoff synchronises
+        // via the deque and latch mutexes — so the only property needed
+        // is the atomicity of each individual update.
         let mut live = self.live_helpers.load(Ordering::Relaxed);
         loop {
             if live >= budget {
@@ -88,6 +111,7 @@ impl PoolContext {
             match self.live_helpers.compare_exchange_weak(
                 live,
                 live + 1,
+                // Relaxed on success and failure alike: see above.
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
@@ -113,6 +137,8 @@ impl HelperSlot {
 
 impl Drop for HelperSlot {
     fn drop(&mut self) {
+        // Relaxed: budget release; see `try_claim` for why no ordering
+        // is required on this counter.
         self.ctx.live_helpers.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -121,18 +147,18 @@ thread_local! {
     static CURRENT_POOL: RefCell<Option<Arc<PoolContext>>> = const { RefCell::new(None) };
 }
 
+fn new_default_context() -> Arc<PoolContext> {
+    let threads = sync::thread::env_threads().unwrap_or_else(hardware_threads);
+    PoolContext::new(threads)
+}
+
 /// The process-wide default pool: hardware threads, overridable with
-/// `RAYON_NUM_THREADS` (read once).
+/// `RAYON_NUM_THREADS` (read once; ignored under the model checker,
+/// where environment reads would be a nondeterministic input).
+static DEFAULT_CONTEXT: Lazy<Arc<PoolContext>> = Lazy::new(new_default_context);
+
 fn default_context() -> Arc<PoolContext> {
-    static DEFAULT: OnceLock<Arc<PoolContext>> = OnceLock::new();
-    Arc::clone(DEFAULT.get_or_init(|| {
-        let threads = std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(hardware_threads);
-        PoolContext::new(threads)
-    }))
+    Arc::clone(&*DEFAULT_CONTEXT.get())
 }
 
 /// The pool the current thread runs under: the innermost `install`, or
@@ -254,8 +280,8 @@ impl ThreadPool {
 mod tests {
     use super::*;
     use crate::prelude::*;
+    use crate::sync::Mutex;
     use std::collections::HashSet;
-    use std::sync::Mutex;
 
     #[test]
     fn join_returns_both_results() {
@@ -292,12 +318,13 @@ mod tests {
         // branch long enough for a thief; retry to absorb scheduling
         // noise.
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // lint: allow(facade) — real thread identity, test-only.
         let me = std::thread::current().id();
         let stolen = (0..20).any(|_| {
             let (_, id_b) = pool.install(|| {
                 join(
-                    || std::thread::sleep(std::time::Duration::from_millis(20)),
-                    std::thread::current,
+                    || std::thread::sleep(std::time::Duration::from_millis(20)), // lint: allow(facade)
+                    std::thread::current, // lint: allow(facade)
                 )
             });
             id_b.id() != me
@@ -311,8 +338,9 @@ mod tests {
     /// `num_threads(1)` still went parallel.
     #[test]
     fn nested_joins_under_one_thread_stay_on_one_thread() {
+        // lint: allow(facade) — collecting real thread ids, test-only.
         fn tree(depth: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
-            seen.lock().unwrap().insert(std::thread::current().id());
+            seen.lock().insert(std::thread::current().id()); // lint: allow(facade)
             if depth > 0 {
                 join(|| tree(depth - 1, seen), || tree(depth - 1, seen));
             }
@@ -320,7 +348,7 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let seen = Mutex::new(HashSet::new());
         pool.install(|| tree(6, &seen));
-        assert_eq!(seen.lock().unwrap().len(), 1, "num_threads(1) must stay sequential");
+        assert_eq!(seen.lock().len(), 1, "num_threads(1) must stay sequential");
     }
 
     /// Helpers inherit the installed context: the thread count a helper

@@ -28,18 +28,21 @@
 //! `Drop`, which also helps instead of merely blocking so the pinned
 //! job cannot be orphaned mid-unwind. Helper panics are captured where
 //! the job runs and re-raised on the joining thread.
-
-// The lifetime erasure in `Job::erase` is this crate's only use of
-// unsafe; the workspace-level `unsafe_code` lint keeps it from
-// spreading silently elsewhere.
-#![allow(unsafe_code)]
+//!
+//! Every synchronization primitive here comes from [`crate::sync`], so
+//! the whole protocol can be compiled against `pmc-model`'s
+//! instrumented types (feature `model`) and exhaustively interleaved by
+//! the schedule explorer — see `vendor/rayon/tests/model.rs`. The
+//! `sync::mutation` calls are seeded-bug hooks for validating that the
+//! checker catches protocol violations; they are constant `false` in
+//! normal builds and the branches fold away.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{self, Arc, Condvar, GlobalRef, Lazy, Mutex};
 use crate::{ContextGuard, HelperSlot};
 
 /// A lifetime-erased `FnOnce` parked in a deque until some thread
@@ -62,6 +65,10 @@ impl Job {
     /// the closure has finished running. [`join_with_helper`] enforces
     /// this by waiting on the [`Latch`] the job signals before its
     /// frame can be left on either the normal or the unwinding path.
+    // This lifetime erasure is the crate's only unsafe code; the
+    // per-item allow (the workspace denies `unsafe_code` by default)
+    // keeps it from spreading silently elsewhere.
+    #[allow(unsafe_code)]
     unsafe fn erase<'a>(tag: usize, f: Box<dyn FnOnce() + Send + 'a>) -> Job {
         Job {
             tag,
@@ -91,21 +98,28 @@ impl WorkerDeque {
         Arc::new(WorkerDeque { jobs: Mutex::new(VecDeque::new()) })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
-        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> sync::MutexGuard<'_, VecDeque<Job>> {
+        self.jobs.lock()
     }
+}
+
+fn new_registry() -> Mutex<Vec<Arc<WorkerDeque>>> {
+    Mutex::new(Vec::new())
 }
 
 /// All deques ever registered (grow-only; a thread that exits leaves
 /// an empty deque behind — joiner deques are provably drained, see the
 /// module docs). Thieves snapshot this list and probe round-robin.
-fn registry() -> &'static Mutex<Vec<Arc<WorkerDeque>>> {
-    static REGISTRY: OnceLock<Mutex<Vec<Arc<WorkerDeque>>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+/// Execution-scoped under the model checker: each explored schedule
+/// starts with a fresh registry.
+static REGISTRY: Lazy<Mutex<Vec<Arc<WorkerDeque>>>> = Lazy::new(new_registry);
+
+fn registry() -> GlobalRef<Mutex<Vec<Arc<WorkerDeque>>>> {
+    REGISTRY.get()
 }
 
 fn registry_snapshot() -> Vec<Arc<WorkerDeque>> {
-    registry().lock().unwrap_or_else(|e| e.into_inner()).clone()
+    registry().lock().clone()
 }
 
 thread_local! {
@@ -120,7 +134,7 @@ fn local_deque() -> Arc<WorkerDeque> {
             return Arc::clone(dq);
         }
         let dq = WorkerDeque::new();
-        registry().lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&dq));
+        registry().lock().push(Arc::clone(&dq));
         *slot = Some(Arc::clone(&dq));
         dq
     })
@@ -141,9 +155,14 @@ struct SleepState {
     signals: usize,
 }
 
-fn sleep() -> &'static Sleep {
-    static SLEEP: OnceLock<Sleep> = OnceLock::new();
-    SLEEP.get_or_init(|| Sleep { state: Mutex::new(SleepState::default()), cv: Condvar::new() })
+fn new_sleep() -> Sleep {
+    Sleep { state: Mutex::new(SleepState::default()), cv: Condvar::new() }
+}
+
+static SLEEP: Lazy<Sleep> = Lazy::new(new_sleep);
+
+fn sleep() -> GlobalRef<Sleep> {
+    SLEEP.get()
 }
 
 /// Wake up to `n` parked workers that have not been signalled yet.
@@ -152,7 +171,7 @@ fn signal_sleepers(n: usize) {
         return;
     }
     let s = sleep();
-    let mut st = s.state.lock().unwrap_or_else(|e| e.into_inner());
+    let mut st = s.state.lock();
     let wakeable = st.sleepers.saturating_sub(st.signals).min(n);
     if wakeable > 0 {
         st.signals += wakeable;
@@ -162,27 +181,40 @@ fn signal_sleepers(n: usize) {
     }
 }
 
+fn new_spawn_count() -> AtomicUsize {
+    AtomicUsize::new(0)
+}
+
 /// Workers ever spawned (they never exit). The cap keeps the
 /// signal/park race from leaking a permanent thread per occurrence:
 /// past it, a pushed job simply waits in its deque until a busy worker
 /// or the pushing frame itself gets to it.
-static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+static WORKERS_SPAWNED: Lazy<AtomicUsize> = Lazy::new(new_spawn_count);
 
-fn worker_cap() -> usize {
+#[cfg(test)]
+pub(crate) fn workers_spawned() -> usize {
+    // Relaxed: a monotone telemetry read; no ordering with other state.
+    WORKERS_SPAWNED.get().load(Ordering::Relaxed)
+}
+
+pub(crate) fn worker_cap() -> usize {
     crate::hardware_threads().max(crate::max_pool_width()).saturating_mul(2)
 }
 
 fn try_spawn_worker() {
-    if WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed) >= worker_cap() {
-        WORKERS_SPAWNED.fetch_sub(1, Ordering::Relaxed);
+    let spawned_count = WORKERS_SPAWNED.get();
+    // Relaxed: the counter is a pure admission cap — no memory is
+    // published or consumed through it, over-counting is corrected on
+    // the failure paths below, and exactness of the interleaving is
+    // irrelevant to safety.
+    if spawned_count.fetch_add(1, Ordering::Relaxed) >= worker_cap() {
+        spawned_count.fetch_sub(1, Ordering::Relaxed);
         return;
     }
-    let spawned = std::thread::Builder::new()
-        .name("rayon-shim-worker".into())
-        .spawn(worker_loop)
-        .is_ok();
+    let spawned = sync::thread::spawn_daemon("rayon-shim-worker", worker_loop).is_ok();
     if !spawned {
-        WORKERS_SPAWNED.fetch_sub(1, Ordering::Relaxed);
+        // Relaxed: undoing the admission count above.
+        spawned_count.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -193,9 +225,16 @@ fn try_spawn_worker() {
 fn push_job(job: Job) {
     let dq = local_deque();
     dq.lock().push_back(job);
+    if sync::mutation("drop_wake_signal") {
+        // Seeded bug: advertise nothing. No parked worker wakes and no
+        // worker is spawned, so the job can only ever be reclaimed by
+        // its own frame — the steal coverage the model tests assert on
+        // disappears.
+        return;
+    }
     let s = sleep();
     let must_spawn = {
-        let mut st = s.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = s.state.lock();
         if st.sleepers > st.signals {
             st.signals += 1;
             s.cv.notify_one();
@@ -249,9 +288,36 @@ fn find_work(steal_half: bool) -> Option<Job> {
     let mut batch = {
         let mut jobs = dq.lock();
         let take = if steal_half { jobs.len().div_ceil(2) } else { 1.min(jobs.len()) };
-        jobs.drain(..take).collect::<VecDeque<_>>()
+        // Steal-granularity invariant, checkable under the model: a
+        // worker takes ceil(len/2), a joiner at most one.
+        sync::check(
+            take <= jobs.len() && (steal_half || take <= 1),
+            "steal protocol: joiners must steal at most one job",
+        );
+        let oldest = jobs.front().map(|job| job.tag);
+        let batch: VecDeque<Job> = if sync::mutation("steal_from_bottom") {
+            // Seeded bug: drain the *newest* jobs — the ones their own
+            // frames are about to reclaim — instead of the oldest.
+            let start = jobs.len() - take;
+            jobs.drain(start..).collect()
+        } else {
+            jobs.drain(..take).collect()
+        };
+        sync::check(
+            batch.is_empty() || batch.front().map(|job| job.tag) == oldest,
+            "steal protocol: thieves must take from the top (oldest job first)",
+        );
+        batch
     };
     let first = batch.pop_front()?;
+    if sync::mutation("drop_stolen_job") {
+        // Seeded bug: lose the stolen job. Its latch never trips and
+        // the joiner blocks forever — the lost-job deadlock the model
+        // checker must catch.
+        drop(first);
+        drop(batch);
+        return None;
+    }
     if !batch.is_empty() {
         let surplus = batch.len();
         mine.lock().append(&mut batch);
@@ -271,7 +337,7 @@ fn worker_loop() {
             continue;
         }
         let s = sleep();
-        let mut st = s.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = s.state.lock();
         if st.signals > 0 {
             // A push raced our scan; consume the token and rescan.
             st.signals -= 1;
@@ -279,7 +345,7 @@ fn worker_loop() {
         }
         st.sleepers += 1;
         loop {
-            st = s.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = s.cv.wait(st);
             if st.signals > 0 {
                 st.signals -= 1;
                 st.sleepers -= 1;
@@ -292,7 +358,7 @@ fn worker_loop() {
 /// One-shot completion latch carrying the helper's result or its panic
 /// payload.
 struct Latch<T> {
-    state: Mutex<Option<std::thread::Result<T>>>,
+    state: Mutex<Option<sync::thread::Result<T>>>,
     cv: Condvar,
 }
 
@@ -301,23 +367,29 @@ impl<T> Latch<T> {
         Latch { state: Mutex::new(None), cv: Condvar::new() }
     }
 
-    fn set(&self, result: std::thread::Result<T>) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+    fn set(&self, result: sync::thread::Result<T>) {
+        let mut st = self.state.lock();
         *st = Some(result);
+        if sync::mutation("drop_latch_notify") {
+            // Seeded bug: the result is stored but the waiter is never
+            // woken — the lost-wakeup deadlock the model checker must
+            // catch whenever the job was genuinely stolen.
+            return;
+        }
         self.cv.notify_all();
     }
 
-    fn try_take(&self) -> Option<std::thread::Result<T>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).take()
+    fn try_take(&self) -> Option<sync::thread::Result<T>> {
+        self.state.lock().take()
     }
 
-    fn wait(&self) -> std::thread::Result<T> {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+    fn wait(&self) -> sync::thread::Result<T> {
+        let mut st = self.state.lock();
         loop {
             if let Some(result) = st.take() {
                 return result;
             }
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = self.cv.wait(st);
         }
     }
 }
@@ -329,7 +401,7 @@ impl<T> Latch<T> {
 /// jobs one steal at a time until the latch trips. Blocking outright
 /// is only reached when a full scan found nothing runnable, at which
 /// point the awaited job is in some worker's hands (see module docs).
-fn wait_with_help<T>(latch: &Latch<T>, tag: usize) -> std::thread::Result<T> {
+fn wait_with_help<T>(latch: &Latch<T>, tag: usize) -> sync::thread::Result<T> {
     if let Some(job) = pop_local_by_tag(tag) {
         job.run();
         // `run` set the latch; fall through to collect it.
@@ -404,7 +476,10 @@ where
         // SAFETY: `WaitGuard` below waits on `latch` before this frame
         // can be left on either the normal or the unwinding path, so
         // every borrow inside the job outlives its execution.
-        unsafe { Job::erase(tag, boxed) }
+        #[allow(unsafe_code)]
+        unsafe {
+            Job::erase(tag, boxed)
+        }
     };
     push_job(job);
     let guard = WaitGuard { latch: &latch, tag, armed: true };
@@ -417,7 +492,7 @@ where
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::AtomicBool; // lint: allow(facade) — raw flag for a spin, test-only.
     use std::time::Duration;
 
     /// A tight loop of sequential joins races each worker's re-park
@@ -432,7 +507,7 @@ mod tests {
                 assert_eq!(b - a, 1);
             }
         });
-        let spawned = WORKERS_SPAWNED.load(Ordering::Relaxed);
+        let spawned = workers_spawned();
         assert!(
             spawned <= worker_cap(),
             "{spawned} workers spawned, cap {}",
@@ -445,13 +520,14 @@ mod tests {
     #[test]
     fn blocked_joiner_gets_its_job_stolen() {
         let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // lint: allow(facade) — real thread identity, test-only.
         let me = std::thread::current().id();
         let mut observed_steal = false;
         for _ in 0..20 {
             let stolen_on = pool.install(|| {
                 crate::join(
-                    || std::thread::sleep(Duration::from_millis(20)),
-                    std::thread::current,
+                    || std::thread::sleep(Duration::from_millis(20)), // lint: allow(facade)
+                    std::thread::current, // lint: allow(facade)
                 )
                 .1
             });
@@ -467,10 +543,11 @@ mod tests {
     /// stolen light branches must land on more than one thread.
     #[test]
     fn skewed_join_tree_observes_multiple_threads() {
+        // lint: allow(facade) — collecting real thread ids, test-only.
         fn tree(depth: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
-            seen.lock().unwrap().insert(std::thread::current().id());
+            seen.lock().insert(std::thread::current().id()); // lint: allow(facade)
             if depth == 0 {
-                std::thread::sleep(Duration::from_millis(2));
+                std::thread::sleep(Duration::from_millis(2)); // lint: allow(facade)
                 return;
             }
             // Skew: the inline branch recurses, the pinned branch is a
@@ -481,17 +558,17 @@ mod tests {
         let seen = Mutex::new(HashSet::new());
         pool.install(|| tree(64, &seen));
         assert!(
-            seen.lock().unwrap().len() > 1,
+            seen.lock().len() > 1,
             "steals under skew must involve more than one thread"
         );
     }
 
-    /// A panic in a job that was genuinely stolen (the victim frame is
-    /// parked on a barrier until the thief has started) propagates to
-    /// the joining thread, and the pool stays usable.
-    #[test]
-    fn panic_in_stolen_job_propagates_to_joiner() {
-        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    /// The panic of a genuinely *stolen* job must land on the joiner —
+    /// the thread that called `join` — not on the worker that ran the
+    /// job, and the pool must stay usable afterwards. Exercised at both
+    /// pool widths the workspace forces in CI.
+    fn stolen_job_panic_reaches_joiner(num_threads: usize) {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(num_threads).build().unwrap();
         let started = AtomicBool::new(false);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.install(|| {
@@ -500,19 +577,39 @@ mod tests {
                         // Hold the joiner in its inline branch until the
                         // thief has picked the job up, so the job cannot
                         // be reclaimed and run inline.
-                        while !started.load(Ordering::Acquire) {
+                        // lint: allow(facade) — raw spin keeps the frame
+                        // busy without a schedule point, test-only.
+                        while !started.load(std::sync::atomic::Ordering::Acquire) {
                             std::hint::spin_loop();
                         }
                     },
                     || {
-                        started.store(true, Ordering::Release);
+                        started.store(true, std::sync::atomic::Ordering::Release); // lint: allow(facade)
                         panic!("stolen job boom");
                     },
                 )
             })
         }));
-        assert!(result.is_err(), "the stolen job's panic must reach the joiner");
+        assert!(
+            result.is_err(),
+            "the stolen job's panic must reach the joiner ({num_threads} threads)"
+        );
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(message, "stolen job boom", "the joiner must see the helper's payload");
+        // The pool is still usable: the panic neither killed a worker's
+        // loop nor leaked the helper budget.
         let (x, y) = pool.install(|| crate::join(|| 1, || 2));
         assert_eq!((x, y), (1, 2));
+    }
+
+    #[test]
+    fn panic_in_stolen_job_propagates_to_joiner_two_threads() {
+        stolen_job_panic_reaches_joiner(2);
+    }
+
+    #[test]
+    fn panic_in_stolen_job_propagates_to_joiner_four_threads() {
+        stolen_job_panic_reaches_joiner(4);
     }
 }

@@ -13,10 +13,6 @@
 //! depends only on the length, so the result is identical no matter how
 //! many threads participate.
 
-// The out-of-place merge is the only unsafe in this module; see the
-// SAFETY comments at each site.
-#![allow(unsafe_code)]
-
 use std::cmp::Ordering;
 use std::ptr;
 
@@ -55,6 +51,9 @@ where
 
 /// Merge the sorted runs `v[..mid]` and `v[mid..]` in place, taking
 /// ties from the left run (stability).
+// The out-of-place merge is this module's only unsafe; each block below
+// carries its own SAFETY argument.
+#[allow(unsafe_code)]
 fn merge<T, F>(v: &mut [T], mid: usize, cmp: &F)
 where
     F: Fn(&T, &T) -> Ordering,
@@ -80,6 +79,7 @@ where
     }
     let mut hole = MergeHole {
         start: buf.as_mut_ptr(),
+        // SAFETY: one-past-the-end of the `mid`-capacity allocation.
         end: unsafe { buf.as_mut_ptr().add(mid) },
         dest: vp,
     };
@@ -118,6 +118,7 @@ struct MergeHole<T> {
 }
 
 impl<T> Drop for MergeHole<T> {
+    #[allow(unsafe_code)]
     fn drop(&mut self) {
         // SAFETY: `[start, end)` holds elements whose only owner is the
         // buffer, and `dest` points at exactly that many vacated slots.
@@ -195,12 +196,14 @@ mod tests {
     fn panicking_comparator_leaks_nothing() {
         // Drop-counting payloads: a panic mid-merge must still leave
         // every element owned exactly once.
+        // lint: allow(facade) — plain counters, no scheduling involved.
         use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
         static DROPS: AtomicUsize = AtomicUsize::new(0);
 
         struct Counted(u64);
         impl Drop for Counted {
             fn drop(&mut self) {
+                // Relaxed: independent event count, read after join.
                 DROPS.fetch_add(1, AtOrd::Relaxed);
             }
         }
@@ -215,6 +218,8 @@ mod tests {
                     &mut v,
                     false,
                     &|a: &Counted, b: &Counted| {
+                        // Relaxed: any single comparison may trip the
+                        // panic; exact interleaving is irrelevant.
                         if calls.fetch_add(1, AtOrd::Relaxed) == 512 {
                             panic!("comparator boom");
                         }
@@ -226,6 +231,7 @@ mod tests {
             v
         });
         assert!(result.is_err(), "the comparator must have panicked");
+        // Relaxed: all sorting threads are quiesced by catch_unwind.
         assert_eq!(DROPS.load(AtOrd::Relaxed), n, "each element dropped exactly once");
     }
 }

@@ -1,0 +1,223 @@
+//! The shim's single gateway to concurrency primitives.
+//!
+//! Everything in `vendor/rayon` that synchronizes — mutexes, condvars,
+//! atomics, thread spawning, lazily-initialized globals — goes through
+//! this module instead of `std::sync`/`std::thread` directly (enforced
+//! by `pmc-lint`'s facade-bypass rule). Normally the re-exports compile
+//! to thin wrappers over `std`. Under the `model` feature they compile
+//! to `pmc-model`'s instrumented types, so the whole scheduler can be
+//! run inside the model checker's deterministic schedule explorer; off
+//! a model thread those instrumented types fall back to `std` behavior,
+//! which keeps a `--features model` build usable for ordinary tests.
+//!
+//! Two pieces beyond type aliases:
+//!
+//! * [`Lazy`] — the facade-aware replacement for `static X: OnceLock`.
+//!   In a normal build it is a process-wide lazily-initialized static.
+//!   Under the model it is **execution-scoped**: each explored schedule
+//!   starts from a fresh scheduler state (fresh deque registry, sleep
+//!   bookkeeping, worker budget), which is what makes executions
+//!   independent and schedules replayable.
+//! * [`mutation`] — seeded-bug hooks. `mutation("name")` is `false` in
+//!   normal builds (the branch folds away) and consults the current
+//!   model execution under the `model` feature, so checker-validation
+//!   tests can inject protocol bugs without forking the scheduler code.
+
+#[cfg(not(feature = "model"))]
+mod facade {
+    use std::sync::OnceLock;
+
+    /// Mutex without poisoning: the scheduler treats a panicked
+    /// critical section as survivable everywhere, so the facade bakes
+    /// the workspace's `unwrap_or_else(into_inner)` idiom in.
+    pub(crate) struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    pub(crate) type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub(crate) const fn new(value: T) -> Self {
+            Mutex { inner: std::sync::Mutex::new(value) }
+        }
+
+        pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    pub(crate) struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub(crate) const fn new() -> Self {
+            Condvar { inner: std::sync::Condvar::new() }
+        }
+
+        pub(crate) fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub(crate) fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        pub(crate) fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    pub(crate) mod atomic {
+        pub(crate) use std::sync::atomic::{AtomicUsize, Ordering};
+    }
+
+    /// A lazily-initialized process-wide global; `get` hands out
+    /// plain `&'static` references.
+    pub(crate) struct Lazy<T: 'static> {
+        cell: OnceLock<T>,
+        init: fn() -> T,
+    }
+
+    /// What `Lazy::get` returns: a `&'static` here, an `Arc` under the
+    /// model (globals there live only as long as their execution).
+    pub(crate) type GlobalRef<T> = &'static T;
+
+    impl<T> Lazy<T> {
+        pub(crate) const fn new(init: fn() -> T) -> Self {
+            Lazy { cell: OnceLock::new(), init }
+        }
+
+        pub(crate) fn get(&'static self) -> GlobalRef<T> {
+            self.cell.get_or_init(self.init)
+        }
+    }
+
+    /// Seeded-mutation hook: always off outside the model checker.
+    #[inline(always)]
+    pub(crate) fn mutation(_name: &str) -> bool {
+        false
+    }
+
+    /// Record a protocol-invariant violation. Outside the model this is
+    /// a debug assertion: release builds keep running, test builds trap.
+    pub(crate) fn check(cond: bool, message: &str) {
+        debug_assert!(cond, "{message}");
+    }
+
+    pub(crate) mod thread {
+        /// `Ok`/`Err` of a joined closure — re-exported so scheduler
+        /// code never names `std::thread` directly.
+        pub(crate) type Result<T> = std::thread::Result<T>;
+
+        pub(crate) fn hardware_threads() -> usize {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+
+        /// The `RAYON_NUM_THREADS` override for the default pool width.
+        pub(crate) fn env_threads() -> Option<usize> {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        }
+
+        /// Spawn a detached daemon thread (pool workers never exit).
+        pub(crate) fn spawn_daemon<F>(name: &str, f: F) -> std::io::Result<()>
+        where
+            F: FnOnce() + Send + 'static,
+        {
+            std::thread::Builder::new().name(name.to_string()).spawn(f).map(|_| ())
+        }
+    }
+}
+
+#[cfg(feature = "model")]
+mod facade {
+    use std::sync::{Arc, OnceLock};
+
+    pub(crate) use pmc_model::sync::{Condvar, Mutex, MutexGuard};
+
+    pub(crate) mod atomic {
+        pub(crate) use pmc_model::sync::atomic::{AtomicUsize, Ordering};
+    }
+
+    /// Execution-scoped when a model execution is active (each explored
+    /// schedule gets fresh scheduler globals), process-wide otherwise.
+    pub(crate) struct Lazy<T: Send + Sync + 'static> {
+        cell: OnceLock<Arc<T>>,
+        init: fn() -> T,
+    }
+
+    pub(crate) type GlobalRef<T> = Arc<T>;
+
+    impl<T: Send + Sync + 'static> Lazy<T> {
+        pub(crate) const fn new(init: fn() -> T) -> Self {
+            Lazy { cell: OnceLock::new(), init }
+        }
+
+        pub(crate) fn get(&'static self) -> GlobalRef<T> {
+            let key = self as *const Self as *const () as usize;
+            match pmc_model::global(key, self.init) {
+                Some(v) => v,
+                None => Arc::clone(self.cell.get_or_init(|| Arc::new((self.init)()))),
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn mutation(name: &str) -> bool {
+        pmc_model::mutation_enabled(name)
+    }
+
+    /// Protocol-invariant check: a violation is reported to the model
+    /// checker (with the failing schedule) when one is active.
+    pub(crate) fn check(cond: bool, message: &str) {
+        if !cond {
+            if pmc_model::active() {
+                pmc_model::report_violation(message);
+            } else {
+                debug_assert!(cond, "{message}");
+            }
+        }
+    }
+
+    pub(crate) mod thread {
+        pub(crate) type Result<T> = std::thread::Result<T>;
+
+        /// Fixed inside the model — the schedule space must not depend
+        /// on the host machine.
+        pub(crate) fn hardware_threads() -> usize {
+            pmc_model::hardware_threads_override()
+                .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        }
+
+        /// Environment reads are nondeterministic inputs, so the model
+        /// ignores `RAYON_NUM_THREADS`.
+        pub(crate) fn env_threads() -> Option<usize> {
+            if pmc_model::active() {
+                return None;
+            }
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        }
+
+        pub(crate) fn spawn_daemon<F>(name: &str, f: F) -> std::io::Result<()>
+        where
+            F: FnOnce() + Send + 'static,
+        {
+            pmc_model::thread::spawn_daemon(name, f)
+        }
+    }
+}
+
+pub(crate) use facade::atomic;
+pub(crate) use facade::thread;
+pub(crate) use facade::{check, mutation, Condvar, GlobalRef, Lazy, Mutex, MutexGuard};
+
+// `Arc` needs no instrumentation (it is shared memory, not a schedule
+// point), but routing it through the facade keeps the lint rule simple:
+// *no* `std::sync` names appear elsewhere in the crate.
+pub(crate) use std::sync::Arc;
