@@ -181,15 +181,15 @@ mod tests {
     #[test]
     fn write_respects_bench_dir() {
         let dir = std::env::temp_dir().join("pmc_bench_json_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).expect("create temp bench dir");
         // Env vars are process-global; this test is the only writer of
         // PMC_BENCH_DIR in the suite.
         std::env::set_var("PMC_BENCH_DIR", &dir);
-        let path = record().write().unwrap();
+        let path = record().write().expect("write BENCH json record");
         std::env::remove_var("PMC_BENCH_DIR");
         assert_eq!(path, dir.join("BENCH_speedup.json"));
-        let body = std::fs::read_to_string(&path).unwrap();
+        let body = std::fs::read_to_string(&path).expect("read back BENCH json record");
         assert!(body.contains("\"metered_queries\": 4242"));
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path).expect("remove temp BENCH json record");
     }
 }

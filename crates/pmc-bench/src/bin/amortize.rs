@@ -55,7 +55,7 @@ fn main() {
     let t = run_amortize(sizes, 23);
     t.print("E-amortize — Phase 5: shared two-level contexts vs rebuild-per-tree");
     // Record the largest size as the trajectory point.
-    let n = *sizes.last().unwrap();
+    let n = *sizes.last().expect("size list is non-empty");
     record(n, 23, &measure_amortize(n, 23));
     println!(
         "\nReading guide: 'rebuild' replicates the pre-engine Phase 5 (one coalesce +\n\

@@ -34,7 +34,7 @@ fn main() {
         threads.push(p);
         p *= 2;
     }
-    if *threads.last().unwrap() != max {
+    if *threads.last().expect("thread list starts with 2") != max {
         threads.push(max);
     }
     let (t, curve) = run_speedup(n, &threads, 17);

@@ -255,7 +255,8 @@ pub struct SpeedupCurve {
 impl SpeedupCurve {
     /// Wall speedup of the last (widest) run over the 1-thread baseline.
     pub fn final_speedup(&self) -> f64 {
-        self.runs[0].1 / self.runs.last().unwrap().1
+        // INVARIANT: `runs` always starts with the p=1 baseline entry.
+        self.runs[0].1 / self.runs.last().expect("speedup curve has a baseline run").1
     }
 }
 
@@ -311,7 +312,8 @@ pub fn measure_speedup_workload(w: &workloads::Workload, p: usize) -> (f64, f64)
             );
             wall = wall.min(w_ms);
         }
-        (wall, value.unwrap())
+        // INVARIANT: SAMPLES >= 1, so the loop above set `value`.
+        (wall, value.expect("at least one sample ran"))
     };
     let (t1, v1) = best(1);
     let (tp, vp) = best(p);
@@ -419,7 +421,8 @@ pub fn measure_amortize(n: usize, seed: u64) -> AmortizeProbe {
             assert_eq!(*value.get_or_insert(v), v, "cut value unstable across samples");
             wall = wall.min(w);
         }
-        (wall, value.unwrap())
+        // INVARIANT: SAMPLES >= 1, so the loop above set `value`.
+        (wall, value.expect("at least one sample ran"))
     };
     let (rebuild_ms, v_rebuild) = best_of(&rebuild_pass);
     let (shared_ms, v_shared) = best_of(&shared_pass);

@@ -1,0 +1,60 @@
+//! The workspace's shared typed-error vocabulary.
+//!
+//! Library crates return [`PmcError`] on fallible paths instead of
+//! panicking; callers that cannot recover still get a message with the
+//! failing phase or input attached. Crates with richer local error
+//! types (e.g. `pmc_graph::io::ParseError`) provide `From` conversions
+//! into this type so the robust entry points can surface one error
+//! enum.
+
+use std::fmt;
+
+/// Typed errors for every fallible path the robustness plane touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmcError {
+    /// A wall-clock deadline (or explicit cancellation) expired at the
+    /// named phase boundary.
+    DeadlineExpired { phase: &'static str },
+    /// A logical work budget ran out at the named phase boundary.
+    BudgetExhausted { phase: &'static str },
+    /// A solve died with a panic that was *not* an injected fault — a
+    /// genuine bug surfaced as a typed error instead of an abort.
+    SolvePanicked { context: String },
+    /// Malformed caller input (graphs, parameters, plans).
+    InvalidInput { message: String },
+    /// A parse failure lifted from a crate-local parser.
+    Parse { message: String },
+}
+
+impl fmt::Display for PmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmcError::DeadlineExpired { phase } => {
+                write!(f, "deadline expired at phase boundary '{phase}'")
+            }
+            PmcError::BudgetExhausted { phase } => {
+                write!(f, "work budget exhausted at phase boundary '{phase}'")
+            }
+            PmcError::SolvePanicked { context } => {
+                write!(f, "solve panicked ({context})")
+            }
+            PmcError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            PmcError::Parse { message } => write!(f, "parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_phase() {
+        let e = PmcError::DeadlineExpired { phase: "phase2:skeleton" };
+        assert!(e.to_string().contains("phase2:skeleton"));
+        let e = PmcError::BudgetExhausted { phase: "phase5:trees" };
+        assert!(e.to_string().contains("budget"));
+    }
+}

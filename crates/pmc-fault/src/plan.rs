@@ -1,0 +1,288 @@
+//! Seeded, record/replayable fault plans.
+//!
+//! A [`FaultPlan`] is a list of [`FaultOp`]s: *at the `hit`-th
+//! execution of probe point `point`, perform `action`*. Plans encode to
+//! a single fixture string (the `fp1;…` format below) and parse back
+//! bit-identically, so every failing plan the chaos suite finds can be
+//! checked in and replayed — the same mechanism the concurrency model
+//! checker uses for failing schedules (`v1:…` strings, DESIGN.md §11).
+//!
+//! ```text
+//! fp1;seed=42;engine:graph_build@1=panic;rayon:steal@3=delay:2;engine:phase@1=exhaust
+//! ```
+//!
+//! * `fp1` — format version tag.
+//! * `seed=N` — the seed the plan was generated from (carried for
+//!   provenance; replay uses the ops, not the seed).
+//! * `<point>@<hit>=<action>` — one op. Actions: `panic`,
+//!   `delay:<ms>`, `exhaust`.
+//!
+//! [`FaultPlan::generate`] derives a small random plan from a seed with
+//! an inline splitmix64 (this crate is dependency-free), so a sweep
+//! over seeds is a sweep over distinct plans.
+
+use crate::error::PmcError;
+use std::fmt::Write as _;
+
+/// What an armed probe does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Raise an [`crate::InjectedPanic`]. Only honoured by probes
+    /// declared panic-safe ([`crate::point_panicking`]); plain
+    /// [`crate::point`] probes ignore panic ops so arbitrary plans can
+    /// never unwind through non-unwind-safe scheduler regions.
+    Panic,
+    /// Sleep this many milliseconds (bounded by
+    /// [`FaultAction::MAX_DELAY_MS`] at parse/generate time so no plan
+    /// can encode a hang).
+    Delay(u64),
+    /// Exhaust the [`crate::Deadline`] registered with the active
+    /// [`crate::FaultScope`], forcing the cooperative-cancellation
+    /// path. No-op when no deadline is registered.
+    Exhaust,
+}
+
+impl FaultAction {
+    /// Upper bound on a single injected delay: long enough to shuffle
+    /// schedules, short enough that a full 500-plan sweep stays cheap
+    /// and no plan can encode a hang.
+    pub const MAX_DELAY_MS: u64 = 5;
+}
+
+/// One armed fault: fire `action` at the `hit`-th execution of `point`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultOp {
+    /// Probe-point name (e.g. `engine:tree_build`, `rayon:steal`).
+    pub point: String,
+    /// 1-based execution count at which the op fires (each op fires at
+    /// most once).
+    pub hit: u32,
+    pub action: FaultAction,
+}
+
+/// A deterministic, replayable set of faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Provenance seed (0 for hand-written plans).
+    pub seed: u64,
+    pub ops: Vec<FaultOp>,
+}
+
+/// splitmix64 — the workspace's stock dependency-free mixer.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with no ops (useful as the "control" arm of a sweep).
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Derive a small plan from `seed` over the given probe points:
+    /// 1–3 ops, each picking a point, a hit count in `1..=4`, and an
+    /// action (panic / bounded delay / exhaust). Distinct seeds give
+    /// distinct plans with overwhelming probability.
+    pub fn generate(seed: u64, points: &[&str]) -> FaultPlan {
+        let mut plan = FaultPlan { seed, ops: Vec::new() };
+        if points.is_empty() {
+            return plan;
+        }
+        let mut s = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+        let num_ops = 1 + (splitmix64(&mut s) % 3) as usize;
+        for _ in 0..num_ops {
+            let point = points[(splitmix64(&mut s) % points.len() as u64) as usize].to_string();
+            let hit = 1 + (splitmix64(&mut s) % 4) as u32;
+            let action = match splitmix64(&mut s) % 4 {
+                0 => FaultAction::Panic,
+                1 => FaultAction::Exhaust,
+                _ => FaultAction::Delay(splitmix64(&mut s) % (FaultAction::MAX_DELAY_MS + 1)),
+            };
+            plan.ops.push(FaultOp { point, hit, action });
+        }
+        plan
+    }
+
+    /// Restrict to delay/exhaust actions only (rewrites `panic` ops to
+    /// 1 ms delays) — the "solver must stay exact" control arm.
+    pub fn without_panics(mut self) -> FaultPlan {
+        for op in &mut self.ops {
+            if op.action == FaultAction::Panic {
+                op.action = FaultAction::Delay(1);
+            }
+        }
+        self
+    }
+
+    /// The replayable fixture string (`fp1;…`).
+    pub fn encode(&self) -> String {
+        let mut out = format!("fp1;seed={}", self.seed);
+        for op in &self.ops {
+            let _ = write!(out, ";{}@{}=", op.point, op.hit);
+            match op.action {
+                FaultAction::Panic => out.push_str("panic"),
+                FaultAction::Delay(ms) => {
+                    let _ = write!(out, "delay:{ms}");
+                }
+                FaultAction::Exhaust => out.push_str("exhaust"),
+            }
+        }
+        out
+    }
+
+    /// Parse a fixture string produced by [`FaultPlan::encode`].
+    pub fn parse(text: &str) -> Result<FaultPlan, PmcError> {
+        let bad = |message: String| PmcError::Parse { message };
+        let mut parts = text.trim().split(';');
+        match parts.next() {
+            Some("fp1") => {}
+            other => {
+                return Err(bad(format!(
+                    "fault plan must start with 'fp1', got {other:?}"
+                )))
+            }
+        }
+        let seed_part = parts
+            .next()
+            .ok_or_else(|| bad("fault plan missing 'seed=N' field".into()))?;
+        let seed = seed_part
+            .strip_prefix("seed=")
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| bad(format!("bad seed field '{seed_part}'")))?;
+        let mut ops = Vec::new();
+        for op_text in parts {
+            if op_text.is_empty() {
+                continue;
+            }
+            let (lhs, action_text) = op_text
+                .rsplit_once('=')
+                .ok_or_else(|| bad(format!("op '{op_text}' missing '=<action>'")))?;
+            let (point, hit_text) = lhs
+                .rsplit_once('@')
+                .ok_or_else(|| bad(format!("op '{op_text}' missing '@<hit>'")))?;
+            if point.is_empty() {
+                return Err(bad(format!("op '{op_text}' has an empty point name")));
+            }
+            let hit = hit_text
+                .parse::<u32>()
+                .ok()
+                .filter(|&h| h >= 1)
+                .ok_or_else(|| bad(format!("op '{op_text}' has bad hit count '{hit_text}'")))?;
+            let action = if action_text == "panic" {
+                FaultAction::Panic
+            } else if action_text == "exhaust" {
+                FaultAction::Exhaust
+            } else if let Some(ms_text) = action_text.strip_prefix("delay:") {
+                let ms = ms_text
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&ms| ms <= FaultAction::MAX_DELAY_MS)
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "op '{op_text}' has bad delay '{ms_text}' (max {} ms)",
+                            FaultAction::MAX_DELAY_MS
+                        ))
+                    })?;
+                FaultAction::Delay(ms)
+            } else {
+                return Err(bad(format!("op '{op_text}' has unknown action '{action_text}'")));
+            };
+            ops.push(FaultOp { point: point.to_string(), hit, action });
+        }
+        Ok(FaultPlan { seed, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let plan = FaultPlan {
+            seed: 42,
+            ops: vec![
+                FaultOp { point: "engine:graph_build".into(), hit: 1, action: FaultAction::Panic },
+                FaultOp { point: "rayon:steal".into(), hit: 3, action: FaultAction::Delay(2) },
+                FaultOp { point: "engine:tree_build".into(), hit: 2, action: FaultAction::Exhaust },
+            ],
+        };
+        let text = plan.encode();
+        assert_eq!(
+            text,
+            "fp1;seed=42;engine:graph_build@1=panic;rayon:steal@3=delay:2;engine:tree_build@2=exhaust"
+        );
+        assert_eq!(FaultPlan::parse(&text).expect("round trip parses"), plan);
+    }
+
+    #[test]
+    fn generated_plans_round_trip_and_are_distinct() {
+        let points = ["engine:graph_build", "engine:tree_build", "rayon:job_run"];
+        let mut encodings = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            let plan = FaultPlan::generate(seed, &points);
+            assert!(!plan.ops.is_empty() && plan.ops.len() <= 3, "seed {seed}");
+            for op in &plan.ops {
+                assert!(points.contains(&op.point.as_str()));
+                assert!((1..=4).contains(&op.hit));
+                if let FaultAction::Delay(ms) = op.action {
+                    assert!(ms <= FaultAction::MAX_DELAY_MS);
+                }
+            }
+            let text = plan.encode();
+            assert_eq!(FaultPlan::parse(&text).expect("generated plan parses"), plan);
+            encodings.insert(text);
+        }
+        assert!(encodings.len() > 150, "seeds must spread over distinct plans");
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let points = ["a:b", "c:d"];
+        assert_eq!(FaultPlan::generate(7, &points), FaultPlan::generate(7, &points));
+    }
+
+    #[test]
+    fn without_panics_rewrites_only_panics() {
+        let plan = FaultPlan {
+            seed: 0,
+            ops: vec![
+                FaultOp { point: "x".into(), hit: 1, action: FaultAction::Panic },
+                FaultOp { point: "y".into(), hit: 1, action: FaultAction::Exhaust },
+            ],
+        }
+        .without_panics();
+        assert_eq!(plan.ops[0].action, FaultAction::Delay(1));
+        assert_eq!(plan.ops[1].action, FaultAction::Exhaust);
+    }
+
+    #[test]
+    fn malformed_plans_return_typed_errors() {
+        for bad in [
+            "fp0;seed=1",
+            "fp1",
+            "fp1;seed=x",
+            "fp1;seed=1;no-hit=panic",
+            "fp1;seed=1;p@0=panic",
+            "fp1;seed=1;p@1=explode",
+            "fp1;seed=1;p@1=delay:9999999",
+            "fp1;seed=1;@1=panic",
+        ] {
+            assert!(
+                matches!(FaultPlan::parse(bad), Err(PmcError::Parse { .. })),
+                "'{bad}' must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_op_list_is_legal() {
+        let plan = FaultPlan::parse("fp1;seed=9").expect("bare plan");
+        assert_eq!(plan.seed, 9);
+        assert!(plan.ops.is_empty());
+    }
+}

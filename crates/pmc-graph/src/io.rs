@@ -15,12 +15,26 @@
 use crate::graph::{Graph, GraphBuilder};
 use std::fmt::Write as _;
 
-/// Serialization error for [`parse_graph`].
+/// Serialization error for [`parse_graph`]. Every malformed input —
+/// truncated files, garbage records, negative weights, out-of-range
+/// endpoints, self-loops — maps to a typed variant with the failing
+/// line attached; the parser never panics on untrusted bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     MissingHeader,
     BadLine { line_no: usize, reason: String },
     EdgeCountMismatch { declared: usize, found: usize },
+    /// An edge endpoint is `>= n` — would trip the builder's internal
+    /// bounds assertion, so it is rejected here with context instead.
+    EndpointOutOfRange { line_no: usize, endpoint: u32, n: usize },
+    /// A self-loop `e v v w`. Loops carry no cut weight and the solver
+    /// stack assumes loop-free inputs, so the parser rejects them
+    /// rather than silently dropping weight.
+    SelfLoop { line_no: usize, v: u32 },
+    /// A negative edge weight. Weights are unsigned throughout the
+    /// workspace (min-cut needs non-negative weights); a leading `-`
+    /// gets this dedicated variant instead of a generic parse failure.
+    NegativeWeight { line_no: usize },
 }
 
 impl std::fmt::Display for ParseError {
@@ -33,11 +47,26 @@ impl std::fmt::Display for ParseError {
             ParseError::EdgeCountMismatch { declared, found } => {
                 write!(f, "header declared {declared} edges but found {found}")
             }
+            ParseError::EndpointOutOfRange { line_no, endpoint, n } => {
+                write!(f, "line {line_no}: endpoint {endpoint} out of range for {n} vertices")
+            }
+            ParseError::SelfLoop { line_no, v } => {
+                write!(f, "line {line_no}: self-loop at vertex {v}")
+            }
+            ParseError::NegativeWeight { line_no } => {
+                write!(f, "line {line_no}: negative edge weight")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
+
+impl From<ParseError> for pmc_fault::PmcError {
+    fn from(e: ParseError) -> Self {
+        pmc_fault::PmcError::Parse { message: e.to_string() }
+    }
+}
 
 /// Render a graph in the text format.
 pub fn write_graph(g: &Graph) -> String {
@@ -52,6 +81,7 @@ pub fn write_graph(g: &Graph) -> String {
 /// Parse a graph from the text format.
 pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
     let mut builder: Option<GraphBuilder> = None;
+    let mut declared_n = 0usize;
     let mut declared_m = 0usize;
     let mut found_m = 0usize;
     for (idx, raw) in text.lines().enumerate() {
@@ -63,6 +93,12 @@ pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
         let mut it = line.split_ascii_whitespace();
         match it.next() {
             Some("p") => {
+                if builder.is_some() {
+                    return Err(ParseError::BadLine {
+                        line_no,
+                        reason: "duplicate 'p' header".into(),
+                    });
+                }
                 let n: usize = it
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -71,6 +107,7 @@ pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad m".into() })?;
+                declared_n = n;
                 builder = Some(GraphBuilder::new(n));
             }
             Some("e") => {
@@ -83,10 +120,31 @@ pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad v".into() })?;
-                let w: u64 = it
+                let w_text = it
                     .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ParseError::BadLine { line_no, reason: "bad w".into() })?;
+                    .ok_or_else(|| ParseError::BadLine { line_no, reason: "missing w".into() })?;
+                if w_text.starts_with('-') {
+                    return Err(ParseError::NegativeWeight { line_no });
+                }
+                let w: u64 = w_text
+                    .parse()
+                    .map_err(|_| ParseError::BadLine { line_no, reason: "bad w".into() })?;
+                // Validate before the builder sees the edge: its
+                // internal `add_edge` asserts on out-of-range
+                // endpoints, and untrusted input must never reach an
+                // assertion.
+                for endpoint in [u, v] {
+                    if endpoint as usize >= declared_n {
+                        return Err(ParseError::EndpointOutOfRange {
+                            line_no,
+                            endpoint,
+                            n: declared_n,
+                        });
+                    }
+                }
+                if u == v {
+                    return Err(ParseError::SelfLoop { line_no, v: u });
+                }
                 b.add_edge(u, v, w);
                 found_m += 1;
             }
@@ -118,7 +176,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let g = generators::gnm_connected(12, 20, 9, &mut rng);
         let text = write_graph(&g);
-        let g2 = parse_graph(&text).unwrap();
+        let g2 = parse_graph(&text).expect("round-tripped text parses");
         assert_eq!(g.n(), g2.n());
         assert_eq!(g.m(), g2.m());
         assert_eq!(g.total_weight(), g2.total_weight());
@@ -128,7 +186,7 @@ mod tests {
     #[test]
     fn comments_and_blanks_skipped() {
         let text = "c hello\n\np 3 2\ne 0 1 4\nc mid comment\ne 1 2 6\n";
-        let g = parse_graph(text).unwrap();
+        let g = parse_graph(text).expect("comments and blanks are skippable");
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 2);
         assert_eq!(g.total_weight(), 10);
@@ -149,5 +207,66 @@ mod tests {
     fn bad_line_reported_with_number() {
         let err = parse_graph("p 3 1\ne 0 x 2\n").unwrap_err();
         assert!(matches!(err, ParseError::BadLine { line_no: 2, .. }));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected_not_panicking() {
+        let err = parse_graph("p 3 1\ne 0 7 2\n").unwrap_err();
+        assert_eq!(err, ParseError::EndpointOutOfRange { line_no: 2, endpoint: 7, n: 3 });
+        // Both endpoint positions are covered.
+        let err = parse_graph("p 3 1\ne 9 1 2\n").unwrap_err();
+        assert_eq!(err, ParseError::EndpointOutOfRange { line_no: 2, endpoint: 9, n: 3 });
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let err = parse_graph("p 3 2\ne 0 1 2\ne 2 2 5\n").unwrap_err();
+        assert_eq!(err, ParseError::SelfLoop { line_no: 3, v: 2 });
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let err = parse_graph("p 3 1\ne 0 1 -4\n").unwrap_err();
+        assert_eq!(err, ParseError::NegativeWeight { line_no: 2 });
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let err = parse_graph("p 3 1\np 4 1\ne 0 1 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line_no: 2, .. }));
+    }
+
+    /// Corrupt fixtures: truncated and garbage inputs must all come
+    /// back as typed errors, never panics. (The panic-freedom claim is
+    /// exactly what `catch_unwind`-free test execution asserts — a
+    /// panic here would fail the test run.)
+    #[test]
+    fn corrupt_fixtures_return_typed_errors() {
+        let fixtures: &[&str] = &[
+            "",                                 // empty file
+            "p",                                // truncated header
+            "p 3",                              // header missing m
+            "p 3 2\ne 0 1 4\n",                 // truncated edge list
+            "p 3 1\ne 0 1\n",                   // truncated edge record
+            "p 3 1\ne 0 1 4\ne 1 2 5\n",        // extra edges
+            "p x y\n",                          // garbage header
+            "q 3 1\n",                          // unknown record
+            "p 3 1\nexplode\n",                 // garbage record
+            "p 3 1\ne 0 1 99999999999999999999999\n", // weight overflow
+            "p 3 1\ne 0 1 -0\n",                // negative zero weight
+            "\u{0}\u{1}\u{2}",                  // binary garbage
+        ];
+        for (i, text) in fixtures.iter().enumerate() {
+            let result = parse_graph(text);
+            assert!(result.is_err(), "fixture {i} must be rejected: {text:?}");
+        }
+    }
+
+    #[test]
+    fn parse_error_lifts_into_pmc_error() {
+        let err = parse_graph("p 3 1\ne 0 1 -4\n").unwrap_err();
+        let lifted: pmc_fault::PmcError = err.into();
+        assert!(matches!(lifted, pmc_fault::PmcError::Parse { .. }));
+        assert!(lifted.to_string().contains("negative"));
     }
 }

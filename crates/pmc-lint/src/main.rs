@@ -14,6 +14,7 @@
 //! | `facade`                | `std::sync`/`std::thread` in `vendor/rayon/src` outside the `sync.rs` facade |
 //! | `static-mut`            | any `static mut` item                                   |
 //! | `relaxed`               | `::Relaxed` ordering without a nearby justifying comment |
+//! | `unwrap-invariant`      | bare `.unwrap()` in library code (`crates/*/src`, non-bin, outside `#[cfg(test)]`) without a nearby `INVARIANT:` comment |
 //!
 //! Escape hatch: a comment `lint: allow(<rule>)` on the offending line
 //! or in the contiguous comment block directly above it. The pragma is
@@ -27,6 +28,7 @@ const RULE_FILE_ALLOW: &str = "file-allow-unsafe";
 const RULE_FACADE: &str = "facade";
 const RULE_STATIC_MUT: &str = "static-mut";
 const RULE_RELAXED: &str = "relaxed";
+const RULE_UNWRAP: &str = "unwrap-invariant";
 
 /// How many lines above a `::Relaxed` use may hold its justification —
 /// enough to cover a comment above a multi-line `compare_exchange`
@@ -270,6 +272,28 @@ fn has_relaxed_comment(lines: &[Line], i: usize) -> bool {
     lines[lo..=i].iter().any(|l| l.comment.to_ascii_lowercase().contains("relaxed"))
 }
 
+/// Is an `INVARIANT` justification comment within the window above (or
+/// on) line `i`? Reuses the relaxed-rule window: close enough to stay
+/// adjacent, wide enough for a comment above a multi-line call chain.
+fn has_invariant_comment(lines: &[Line], i: usize) -> bool {
+    let lo = i.saturating_sub(RELAXED_COMMENT_WINDOW);
+    lines[lo..=i].iter().any(|l| l.comment.contains("INVARIANT"))
+}
+
+/// Does the unwrap rule apply to this file? Library sources only:
+/// `crates/*/src`, excluding binary targets (`src/bin`, `main.rs`) and
+/// test/bench trees — bins and tests may `expect` with context, and the
+/// rule's test-module cutoff handles inline `#[cfg(test)]` modules.
+fn unwrap_scoped(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.starts_with("crates/")
+        && p.contains("/src/")
+        && !p.contains("/bin/")
+        && !p.contains("/tests/")
+        && !p.contains("/benches/")
+        && !p.ends_with("/main.rs")
+}
+
 /// Does the facade-bypass rule apply to this file? Only the scheduler
 /// shim's sources are required to route through `crate::sync`; its
 /// `sync.rs` facade is where the `std` names are allowed to live.
@@ -290,6 +314,17 @@ fn check_source(path: &Path, source: &str) -> Vec<Violation> {
         });
     };
     let facade_applies = facade_scoped(path);
+    let unwrap_applies = unwrap_scoped(path);
+    // Inline test modules are exempt from the unwrap rule: everything
+    // from the first `#[cfg(test)]` line down is test code (the
+    // workspace convention keeps test modules at the end of the file).
+    let test_start = lines
+        .iter()
+        .position(|l| {
+            let compact: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+            compact.contains("#[cfg(test)]")
+        })
+        .unwrap_or(lines.len());
     for i in 0..lines.len() {
         let code = lines[i].code.as_str();
         let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
@@ -347,6 +382,21 @@ fn check_source(path: &Path, source: &str) -> Vec<Violation> {
                 RULE_RELAXED,
                 "Ordering::Relaxed without a nearby comment justifying why no \
                  ordering is needed",
+            );
+        }
+
+        if unwrap_applies
+            && i < test_start
+            && code.contains(".unwrap()")
+            && !has_invariant_comment(&lines, i)
+            && !pragma_allows(&lines, i, RULE_UNWRAP)
+        {
+            push(
+                i,
+                RULE_UNWRAP,
+                "bare .unwrap() in library code; return a typed error, use \
+                 expect with context, or state the invariant in an \
+                 `// INVARIANT:` comment",
             );
         }
     }
@@ -537,5 +587,51 @@ mod tests {
     fn multiline_string_state_persists() {
         let src = "const S: &str = \"line one\nstd::sync::Mutex on line two\nunsafe too\";\nfn f() {}\n";
         assert!(rules("vendor/rayon/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_unwrap_in_library_code_is_flagged() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    *v.last().unwrap()\n}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![RULE_UNWRAP]);
+    }
+
+    #[test]
+    fn unwrap_with_invariant_comment_passes() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    // INVARIANT: callers pass non-empty slices (checked at the API boundary).\n    *v.last().unwrap()\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+        // Same-line trailing comment counts too.
+        let src = "fn f(v: &[u32]) -> u32 { *v.last().unwrap() } // INVARIANT: non-empty.\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_is_scoped_to_library_sources() {
+        let src = "fn f(v: &[u32]) -> u32 { *v.last().unwrap() }\n";
+        assert!(rules("crates/x/src/bin/tool.rs", src).is_empty(), "bin target");
+        assert!(rules("crates/x/src/main.rs", src).is_empty(), "bin crate root");
+        assert!(rules("crates/x/tests/it.rs", src).is_empty(), "integration test");
+        assert!(rules("vendor/rayon/src/pool.rs", src).is_empty(), "vendor shim");
+        assert_eq!(rules("crates/x/src/inner/mod.rs", src), vec![RULE_UNWRAP]);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+        // ...but library code above the test module still fires.
+        let src = "fn f(v: &[u32]) -> u32 { *v.last().unwrap() }\n\n#[cfg(test)]\nmod tests {}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![RULE_UNWRAP]);
+    }
+
+    #[test]
+    fn unwrap_pragma_escapes_one_site() {
+        let src = "fn f(v: &[u32]) -> u32 { *v.last().unwrap() } // lint: allow(unwrap-invariant) -- migration\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_strings_and_comments_does_not_fire() {
+        let src = "fn f() { let s = \".unwrap() in a string\"; }\n// prose mentioning .unwrap() only\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
     }
 }

@@ -18,12 +18,26 @@
 //!   when nested — one or two rectangle sums either way.
 //! * `cut(e,f) = cov(e) + cov(f) - 2 cov(e,f)` in *every* configuration.
 
+use pmc_fault::{Deadline, SolveQuality};
 use pmc_graph::Graph;
 use pmc_parallel::meter::{CostKind, Meter};
 use pmc_range::{Point2, RangeTree2D};
 use pmc_tree::{LcaOracle, RootedTree};
 use rayon::prelude::*;
 use std::sync::Arc;
+
+/// Result of a deadline-bounded batch ([`CutQuery::cut_batch_until`]):
+/// the values for the prefix of the request that completed, how long
+/// that prefix is, and whether the batch ran to the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Cut values for `pairs[..completed]`, in request order.
+    pub values: Vec<u64>,
+    /// How many requested pairs were answered (`values.len()`).
+    pub completed: usize,
+    /// [`SolveQuality::Exact`] iff every requested pair was answered.
+    pub quality: SolveQuality,
+}
 
 /// Cut queries for a fixed spanning tree of a fixed graph.
 ///
@@ -151,6 +165,9 @@ impl<'a> CutQuery<'a> {
     /// Batched coverage lookup over a slice of tree edges — a parallel
     /// gather from the flat coverage arena.
     pub fn cov_batch(&self, es: &[u32]) -> Vec<u64> {
+        // Delay/exhaust-capable probe (inert unless a fault plan is
+        // armed): lets chaos plans stall or expire a batch stage.
+        pmc_fault::point("engine:cov_batch");
         es.par_iter().map(|&v| self.cov(v)).collect()
     }
 
@@ -164,6 +181,8 @@ impl<'a> CutQuery<'a> {
     /// the meter consequently counts *distinct* queries. Small batches
     /// skip the grouping pass and map directly.
     pub fn cut_batch(&self, pairs: &[(u32, u32)], meter: &Meter) -> Vec<u64> {
+        // Delay/exhaust-capable probe, see `cov_batch`.
+        pmc_fault::point("engine:cut_batch");
         /// Below this size the sort costs more than duplicate probes.
         const GROUP_CUTOFF: usize = 64;
         if pairs.len() < GROUP_CUTOFF {
@@ -202,6 +221,36 @@ impl<'a> CutQuery<'a> {
             }
         }
         out
+    }
+
+    /// [`CutQuery::cut_batch`] under a cooperative [`Deadline`]: the
+    /// pair slice is processed in chunks, the token is consulted
+    /// (non-consuming) at each chunk boundary, and on expiry the values
+    /// computed so far are returned with `completed < pairs.len()` and
+    /// a [`SolveQuality::Degraded`] flag. A batch that runs to the end
+    /// is bit-identical to `cut_batch` and flagged
+    /// [`SolveQuality::Exact`].
+    pub fn cut_batch_until(
+        &self,
+        pairs: &[(u32, u32)],
+        deadline: &Deadline,
+        meter: &Meter,
+    ) -> BatchOutcome {
+        /// Chunk granularity: coarse enough that the per-chunk deadline
+        /// probe is noise, fine enough that expiry reacts quickly.
+        const CHUNK: usize = 256;
+        let mut values = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(CHUNK) {
+            if deadline.expired() {
+                return BatchOutcome {
+                    completed: values.len(),
+                    values,
+                    quality: SolveQuality::Degraded(deadline.degrade_reason("cut_batch")),
+                };
+            }
+            values.extend(self.cut_batch(chunk, meter));
+        }
+        BatchOutcome { completed: values.len(), values, quality: SolveQuality::Exact }
     }
 
     /// Rectangle sum over `[x1,x2] x [y1,y2]` (inclusive; empty if

@@ -112,6 +112,10 @@ impl<'g> GraphContext<'g> {
     }
 
     fn finish(store: GraphStore<'g>, meter: &Meter) -> GraphContext<'g> {
+        // Panic-capable probe: chaos plans kill the build here; the
+        // unwind is absorbed by the robust entry's guard (or a job's
+        // catch_unwind when the build runs inside a parallel solve).
+        pmc_fault::point_panicking("engine:graph_build");
         let (labels, degrees) = {
             let g = store.graph();
             // Component labels and weighted degrees are independent
@@ -226,6 +230,8 @@ impl<'g> TreeContext<'g> {
     ) -> Self {
         assert!(tree.n() >= 2, "need at least one tree edge");
         assert_eq!(g.n(), tree.n(), "graph and tree must share the vertex set");
+        // Panic-capable probe: see `engine:graph_build`.
+        pmc_fault::point_panicking("engine:tree_build");
         let ((lca, q), (decomp, interest)) = rayon::join(
             || {
                 let lca = LcaEngine::build(&tree, params.lca_strategy, meter);
@@ -343,6 +349,18 @@ impl<'g> TreeContext<'g> {
     /// slice, deterministic output order.
     pub fn cut_batch(&self, pairs: &[(u32, u32)], meter: &Meter) -> Vec<u64> {
         self.q.cut_batch(pairs, meter)
+    }
+
+    /// [`TreeContext::cut_batch`] under a cooperative deadline: answers
+    /// a prefix of the request and flags whether it ran to the end (see
+    /// [`CutQuery::cut_batch_until`]).
+    pub fn cut_batch_until(
+        &self,
+        pairs: &[(u32, u32)],
+        deadline: &pmc_fault::Deadline,
+        meter: &Meter,
+    ) -> crate::cutquery::BatchOutcome {
+        self.q.cut_batch_until(pairs, deadline, meter)
     }
 
     /// The minimum 2-respecting cut of this tree (Theorem 4.2), reusing

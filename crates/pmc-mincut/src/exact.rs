@@ -19,11 +19,13 @@ use crate::engine::{GraphContext, TreeContext};
 use crate::interest::InterestStrategy;
 use crate::packing::{greedy_tree_packing, PackingParams};
 use crate::two_respect::TwoRespectParams;
+use pmc_fault::{Deadline, DegradeReason, PmcError, SolveQuality};
 use pmc_graph::{CutResult, Graph};
 use pmc_parallel::meter::Meter;
 use pmc_sparsify::certificate::k_certificate;
 use pmc_sparsify::skeleton::{skeleton, skeleton_probability};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Parameters of the exact pipeline.
 #[derive(Debug, Clone)]
@@ -82,6 +84,12 @@ pub struct ExactStats {
 pub struct ExactResult {
     pub cut: CutResult,
     pub stats: ExactStats,
+    /// Whether the run completed every phase ([`SolveQuality::Exact`])
+    /// or expired mid-pipeline and returned the best valid cut found so
+    /// far ([`SolveQuality::Degraded`] naming the reason and phase).
+    /// Degraded answers are still genuine cuts of the input — they can
+    /// only over-estimate, never be silently wrong.
+    pub quality: SolveQuality,
 }
 
 impl ExactParams {
@@ -124,13 +132,67 @@ pub fn exact_mincut_metered(g: &Graph, params: &ExactParams, meter: &Meter) -> E
 /// reused across calls; only the per-run sampling and per-tree contexts
 /// are built here.
 pub fn exact_mincut_in(ctx: &GraphContext<'_>, params: &ExactParams, meter: &Meter) -> ExactResult {
+    exact_mincut_deadline_in(ctx, params, &Deadline::never(), meter)
+}
+
+/// [`exact_mincut`] under a cooperative [`Deadline`]: one-shot wrapper
+/// over [`exact_mincut_deadline_in`].
+pub fn exact_mincut_deadline(
+    g: &Graph,
+    params: &ExactParams,
+    deadline: &Deadline,
+    meter: &Meter,
+) -> ExactResult {
+    let ctx = GraphContext::build(g, meter);
+    exact_mincut_deadline_in(&ctx, params, deadline, meter)
+}
+
+/// Map a phase-boundary [`Deadline::check`] error onto the degradation
+/// flag. Only the deadline/budget variants can come out of `check`; the
+/// defensive arm keeps the mapping total.
+fn degrade_reason_of(e: PmcError) -> DegradeReason {
+    match e {
+        PmcError::DeadlineExpired { phase } => DegradeReason::DeadlineExpired { phase },
+        PmcError::BudgetExhausted { phase } => DegradeReason::BudgetExhausted { phase },
+        other => DegradeReason::InjectedFault { point: other.to_string() },
+    }
+}
+
+/// The deadline-aware exact pipeline. The token is consulted at every
+/// phase boundary ([`Deadline::check`], which also spends one unit of a
+/// logical budget) and per tree inside the Phase 5 parallel loop
+/// (non-consuming [`Deadline::expired`]). On expiry the run stops
+/// where it is and returns the best *valid* cut accumulated so far —
+/// at minimum the min-degree fallback [`GraphContext::min_degree_cut`]
+/// — flagged [`SolveQuality::Degraded`] with the phase it died in. It
+/// never blocks past the token and never returns an unflagged partial
+/// answer.
+pub fn exact_mincut_deadline_in(
+    ctx: &GraphContext<'_>,
+    params: &ExactParams,
+    deadline: &Deadline,
+    meter: &Meter,
+) -> ExactResult {
     if let Some(cut) = ctx.trivial_cut() {
-        return ExactResult { cut, stats: ExactStats::default() };
+        // Degenerate inputs have exact answers regardless of budget.
+        return ExactResult { cut, stats: ExactStats::default(), quality: SolveQuality::Exact };
     }
     let gc = ctx.graph();
     let mut stats = ExactStats::default();
+    // The degradation ladder's floor: always a genuine cut of `g`.
+    let fallback = ctx.min_degree_cut();
+    // Best valid candidate accumulated so far; refined phase by phase.
+    let degraded = |stats: ExactStats, reason: pmc_fault::DegradeReason| ExactResult {
+        cut: fallback.clone(),
+        stats,
+        quality: SolveQuality::Degraded(reason),
+    };
 
     // Phase 1: constant-factor underestimate of the min cut.
+    if let Err(e) = deadline.check("phase1:approx") {
+        return degraded(stats, degrade_reason_of(e));
+    }
+    pmc_fault::point("engine:phase1_approx");
     let lambda_est = match params.lambda_hint {
         Some(l) => l.max(1),
         None => {
@@ -145,6 +207,10 @@ pub fn exact_mincut_in(ctx: &GraphContext<'_>, params: &ExactParams, meter: &Met
     // skeleton disconnects, re-sample denser: a disconnected skeleton
     // can only happen when p λ is too small, so doubling p restores the
     // Theorem 2.4 regime within O(log) retries.
+    if let Err(e) = deadline.check("phase2:skeleton") {
+        return degraded(stats, degrade_reason_of(e));
+    }
+    pmc_fault::point("engine:phase2_skeleton");
     let eps = params.skeleton_eps;
     let cap_scale = (params.skeleton_c * (gc.n().max(2) as f64).ln() / (eps * eps)).ceil();
     let cap = (8.0 * cap_scale) as u64;
@@ -152,6 +218,9 @@ pub fn exact_mincut_in(ctx: &GraphContext<'_>, params: &ExactParams, meter: &Met
     let mut h = skeleton(gc, p, cap, params.seed, meter);
     let mut retries = 0;
     while !h.is_connected() && p < 1.0 {
+        if deadline.expired() {
+            return degraded(stats, deadline.degrade_reason("phase2:skeleton_retry"));
+        }
         p = (p * 2.0).min(1.0);
         retries += 1;
         h = skeleton(gc, p, cap, params.seed.wrapping_add(retries), meter);
@@ -160,11 +229,19 @@ pub fn exact_mincut_in(ctx: &GraphContext<'_>, params: &ExactParams, meter: &Met
     stats.skeleton_edges = h.m();
 
     // Phase 3: sparse certificate bounds the packing input weight.
+    if let Err(e) = deadline.check("phase3:certificate") {
+        return degraded(stats, degrade_reason_of(e));
+    }
+    pmc_fault::point("engine:phase3_certificate");
     let k_cert = 2 * cap;
     let hc = k_certificate(&h, k_cert, meter);
     stats.certificate_weight = hc.total_weight();
 
     // Phase 4: greedy packing.
+    if let Err(e) = deadline.check("phase4:packing") {
+        return degraded(stats, degrade_reason_of(e));
+    }
+    pmc_fault::point("engine:phase4_packing");
     let trees = greedy_tree_packing(&hc, &params.packing, meter);
     stats.num_trees = trees.len();
 
@@ -172,12 +249,25 @@ pub fn exact_mincut_in(ctx: &GraphContext<'_>, params: &ExactParams, meter: &Met
     // in parallel (the paper's outermost parallel loop). Each packed
     // tree gets a tree-lifetime context (parallel sub-builds inside);
     // the graph-lifetime state comes from `ctx`. The pipeline's
-    // interest-strategy knob overrides the per-solver one.
+    // interest-strategy knob overrides the per-solver one. Trees are
+    // skipped (not solved) once the deadline expires mid-loop; a
+    // skipped tree flags the whole run as degraded, because the packing
+    // guarantee needs every tree.
+    if let Err(e) = deadline.check("phase5:trees") {
+        return degraded(stats, degrade_reason_of(e));
+    }
     let tr_params =
         TwoRespectParams { interest_strategy: params.interest_strategy, ..params.two_respect };
+    let skipped = AtomicBool::new(false);
     let from_trees = trees
         .par_iter()
         .map(|edges| {
+            if deadline.expired() {
+                // Relaxed: a monotone one-way flag read once after the
+                // loop's join; the reduction itself synchronises.
+                skipped.store(true, Ordering::Relaxed);
+                return CutResult::infinite();
+            }
             let tc = TreeContext::from_edges(gc, edges, 0, &tr_params, meter);
             tc.solve(meter).cut
         })
@@ -185,7 +275,14 @@ pub fn exact_mincut_in(ctx: &GraphContext<'_>, params: &ExactParams, meter: &Met
 
     // Always-valid fallback candidate: the minimum weighted degree
     // (precomputed once in the context).
-    ExactResult { cut: from_trees.min(ctx.min_degree_cut()), stats }
+    let cut = from_trees.min(fallback);
+    // Relaxed: see the store above.
+    let quality = if skipped.load(Ordering::Relaxed) {
+        SolveQuality::Degraded(deadline.degrade_reason("phase5:trees"))
+    } else {
+        SolveQuality::Exact
+    };
+    ExactResult { cut, stats, quality }
 }
 
 /// Exact min-cut for graphs whose minimum cut is already `O(polylog)`

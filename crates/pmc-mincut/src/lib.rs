@@ -45,15 +45,20 @@ pub mod engine;
 pub mod exact;
 pub mod interest;
 pub mod packing;
+pub mod robust;
 pub mod two_respect;
 
 pub use approx::{approx_mincut, approx_mincut_eps, approx_mincut_in, ApproxParams, ApproxResult};
-pub use cutquery::CutQuery;
+pub use cutquery::{BatchOutcome, CutQuery};
 pub use engine::{GraphContext, TreeContext};
 pub use exact::{
-    exact_mincut, exact_mincut_in, exact_mincut_metered, mincut_small, mincut_small_in,
-    ExactParams, ExactResult,
+    exact_mincut, exact_mincut_deadline, exact_mincut_deadline_in, exact_mincut_in,
+    exact_mincut_metered, mincut_small, mincut_small_in, ExactParams, ExactResult,
 };
+// The robustness vocabulary (shared with every crate through
+// `pmc-fault`) re-exported where solver callers already look.
+pub use pmc_fault::{Deadline, DegradeReason, FaultPlan, PmcError, SolveQuality};
+pub use robust::exact_mincut_robust;
 pub use interest::{
     Arms, CentroidDescent, DecompositionStrategy, HeavyPathDescent, InterestEngine,
     InterestSearch, InterestStrategy,

@@ -327,7 +327,10 @@ fn sort_join_keys_with_limit(
 fn pair_minimum(q: &CutQuery<'_>, r: &[u32], s: &[u32], algo: RowMinimaAlgo, meter: &Meter) -> Best {
     let tree = q.tree();
     // Swap so that no edge of `s` is an ancestor of an edge of `r`.
-    let (r, s) = if tree.is_ancestor(s[0], *r.last().unwrap()) { (s, r) } else { (r, s) };
+    // INVARIANT: chains handed to pair_minimum are non-empty (the
+    // interest search never emits an empty chain).
+    let last_r = *r.last().expect("non-empty chain");
+    let (r, s) = if tree.is_ancestor(s[0], last_r) { (s, r) } else { (r, s) };
     // Nested prefix: r[..k] are ancestors of every edge in s.
     let k = r.partition_point(|&e| tree.is_ancestor(e, s[0]));
     let mut best = Best::NONE;

@@ -336,7 +336,10 @@ mod tests {
     #[test]
     fn schedule_codec_round_trips() {
         for trace in [vec![], vec![0], vec![0, 1, 0, 2, 1]] {
-            assert_eq!(decode_schedule(&encode_schedule(&trace)).unwrap(), trace);
+            assert_eq!(
+                decode_schedule(&encode_schedule(&trace)).expect("codec round-trip"),
+                trace
+            );
         }
         assert!(decode_schedule("v2:0.1").is_err());
         assert!(decode_schedule("v1:0.x").is_err());
@@ -376,7 +379,7 @@ mod tests {
             thread::spawn_daemon("inc1", move || {
                 a1.fetch_add(1, Ordering::SeqCst);
             })
-            .unwrap();
+            .expect("daemon spawn succeeds under the model");
             a2.fetch_add(1, Ordering::SeqCst);
             // NOTE: the daemon may or may not have run yet — both are
             // legal schedules; only atomicity is asserted elsewhere.
@@ -396,7 +399,7 @@ mod tests {
                 let _gb = b2.lock();
                 let _ga = a2.lock();
             })
-            .unwrap();
+            .expect("daemon spawn succeeds under the model");
             let _ga = a.lock();
             let _gb = b.lock();
         });
@@ -410,7 +413,7 @@ mod tests {
                 let _gb = b2.lock();
                 let _ga = a2.lock();
             })
-            .unwrap();
+            .expect("daemon spawn succeeds under the model");
             let _ga = a.lock();
             let _gb = b.lock();
         });
@@ -449,7 +452,7 @@ mod tests {
                 *m.lock() = Some(7);
                 cv.notify_one();
             })
-            .unwrap();
+            .expect("daemon spawn succeeds under the model");
             let (m, cv) = &*slot;
             let mut g = m.lock();
             while g.is_none() {
@@ -470,7 +473,7 @@ mod tests {
             thread::spawn_daemon("w", move || {
                 a1.fetch_add(1, Ordering::SeqCst);
             })
-            .unwrap();
+            .expect("daemon spawn succeeds under the model");
             a.fetch_add(1, Ordering::SeqCst);
         });
         assert!(report.distinct_schedules > 1);
@@ -488,15 +491,15 @@ mod tests {
         let report = run(&Config { iterations: 5, ..Config::default() }, move || {
             let inits3 = StdArc::clone(&inits2);
             let g = global(&KEY as *const _ as usize, move || {
-                *inits3.lock().unwrap() += 1;
+                *inits3.lock().expect("init counter lock") += 1;
                 0u32
             })
             .expect("on a model thread");
             // Same key, same execution: cached, not re-inited.
-            let g2 = global(&KEY as *const _ as usize, || 1u32).unwrap();
+            let g2 = global(&KEY as *const _ as usize, || 1u32).expect("on a model thread");
             assert_eq!(*g, *g2);
         });
         assert!(report.violation.is_none(), "{:?}", report.violation);
-        assert_eq!(*inits.lock().unwrap(), 5, "one init per execution");
+        assert_eq!(*inits.lock().expect("init counter lock"), 5, "one init per execution");
     }
 }

@@ -195,7 +195,9 @@ where
         let upper_col = if k + 1 < rows.len() {
             out[rows[k + 1]].col
         } else {
-            *cols.last().unwrap()
+            // INVARIANT: smawk_rec is never entered with empty `cols`
+            // (the public entry returns early on `cols == 0`).
+            *cols.last().expect("non-empty column set")
         };
         let mut best = Located::MAX;
         let mut j = cpos;
@@ -261,7 +263,9 @@ fn dc_rec_slice<F>(
     }
     out[mid - offset] = best;
     let (left, right) = out.split_at_mut(mid - offset);
-    let (_, right) = right.split_first_mut().unwrap();
+    // INVARIANT: `mid < rhi <= offset + out.len()`, so the right half
+    // holds at least the `mid` slot itself.
+    let (_, right) = right.split_first_mut().expect("right half contains the mid row");
     let bcol = best.col;
     rayon::join(
         || dc_rec_slice(rlo, mid, clo, bcol + 1, f, left, offset),
@@ -432,7 +436,7 @@ where
         for j in 0..cols {
             meter.bump(CostKind::MongeEntry);
             let v = f(i, j);
-            if best.is_none() || v < best.unwrap().value {
+            if best.map_or(true, |b| v < b.value) {
                 best = Some(Located { row: i, col: j, value: v });
             }
         }
@@ -450,7 +454,7 @@ where
         for j in i + 1..k {
             meter.bump(CostKind::MongeEntry);
             let v = f(i, j);
-            if best.is_none() || v < best.unwrap().value {
+            if best.map_or(true, |b| v < b.value) {
                 best = Some(Located { row: i, col: j, value: v });
             }
         }
@@ -539,10 +543,10 @@ mod tests {
             let m = random_monge(r, c, &mut rng);
             let got = smawk_row_minima(r, c, |i, j| m[i][j], &Meter::disabled());
             for i in 0..r {
-                let brute: u64 = (0..c).map(|j| m[i][j]).min().unwrap();
+                let brute: u64 = (0..c).map(|j| m[i][j]).min().expect("c >= 1 columns");
                 assert_eq!(got[i].value, brute, "({r},{c}) row {i}");
                 // Leftmost argmin.
-                let leftmost = (0..c).find(|&j| m[i][j] == brute).unwrap();
+                let leftmost = (0..c).find(|&j| m[i][j] == brute).expect("minimum exists");
                 assert_eq!(got[i].col, leftmost, "({r},{c}) row {i} leftmost");
             }
         }
@@ -579,10 +583,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let m = random_monge(12, 9, &mut rng);
-            let expect = brute_minimum(12, 9, |i, j| m[i][j], &Meter::disabled()).unwrap();
+            let expect = brute_minimum(12, 9, |i, j| m[i][j], &Meter::disabled())
+                .expect("non-empty matrix has a minimum");
             let got =
                 monge_minimum(12, 9, Orient::Submodular, |i, j| m[i][j], &Meter::disabled())
-                    .unwrap();
+                    .expect("non-empty matrix has a minimum");
             assert_eq!(got.value, expect.value);
             // Supermodular variant: reverse columns of m.
             let got2 = monge_minimum(
@@ -592,7 +597,7 @@ mod tests {
                 |i, j| m[i][8 - j],
                 &Meter::disabled(),
             )
-            .unwrap();
+            .expect("non-empty matrix has a minimum");
             assert_eq!(got2.value, expect.value);
         }
     }
@@ -605,10 +610,11 @@ mod tests {
             // Monge one (upper triangle inherits Mongeness).
             let m = random_monge(k, k, &mut rng);
             let expect =
-                brute_triangle_minimum(k, |i, j| m[i][j], &Meter::disabled()).unwrap();
+                brute_triangle_minimum(k, |i, j| m[i][j], &Meter::disabled())
+                    .expect("k >= 2 triangle has a minimum");
             let got =
                 triangle_minimum(k, Orient::Submodular, |i, j| m[i][j], &Meter::disabled())
-                    .unwrap();
+                    .expect("k >= 2 triangle has a minimum");
             assert_eq!(got.value, expect.value, "k={k}");
             assert!(got.row < got.col, "k={k} returned diagonal-or-lower entry");
         }
@@ -653,7 +659,8 @@ mod tests {
     fn constant_matrix_is_both() {
         assert!(is_submodular(4, 4, |_, _| 7));
         assert!(is_supermodular(4, 4, |_, _| 7));
-        let got = monge_minimum(4, 4, Orient::Submodular, |_, _| 7, &Meter::disabled()).unwrap();
+        let got = monge_minimum(4, 4, Orient::Submodular, |_, _| 7, &Meter::disabled())
+            .expect("non-empty matrix has a minimum");
         assert_eq!(got.value, 7);
     }
 }

@@ -46,8 +46,10 @@ impl WeightTree1D {
         // Level widths are known up front, so the whole arena is
         // allocated once and filled level by level in place.
         let mut widths = vec![points.len()];
-        while *widths.last().unwrap() > 1 {
-            widths.push(widths.last().unwrap().div_ceil(degree));
+        let mut width = points.len();
+        while width > 1 {
+            width = width.div_ceil(degree);
+            widths.push(width);
         }
         let mut level_offsets = Vec::with_capacity(widths.len() + 1);
         let mut acc = 0usize;

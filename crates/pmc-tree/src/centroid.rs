@@ -344,9 +344,9 @@ mod tests {
                 pv.push(b);
             }
             let setu: std::collections::HashSet<u32> = pu.iter().copied().collect();
-            let lca = *pv.iter().find(|x| setu.contains(x)).unwrap();
-            let du = pu.iter().position(|&y| y == lca).unwrap();
-            let dv = pv.iter().position(|&y| y == lca).unwrap();
+            let lca = *pv.iter().find(|x| setu.contains(x)).expect("root paths intersect");
+            let du = pu.iter().position(|&y| y == lca).expect("lca lies on u's root path");
+            let dv = pv.iter().position(|&y| y == lca).expect("lca lies on v's root path");
             pu[..=du].contains(&x) || pv[..=dv].contains(&x)
         };
         for _ in 0..300 {
@@ -354,7 +354,7 @@ mod tests {
             let v = rng.random_range(0..120);
             let au = cd.ancestors(u);
             let av: std::collections::HashSet<u32> = cd.ancestors(v).into_iter().collect();
-            let meet = *au.iter().find(|x| av.contains(x)).unwrap();
+            let meet = *au.iter().find(|x| av.contains(x)).expect("ancestor chains intersect");
             assert!(on_path(u, v, meet), "centroid meet {meet} off path {u}-{v}");
         }
     }

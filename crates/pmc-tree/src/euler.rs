@@ -143,7 +143,7 @@ mod tests {
         let e = EulerTour::build(&t, &Meter::disabled());
         assert_eq!(e.len(), 2 * 7 - 1);
         assert_eq!(e.tour()[0], 0);
-        assert_eq!(*e.tour().last().unwrap(), 0);
+        assert_eq!(*e.tour().last().expect("tour is non-empty"), 0);
         // Every vertex appears; first visits are consistent.
         for v in 0..7u32 {
             assert_eq!(e.tour()[e.first_visit(v) as usize], v);

@@ -252,7 +252,7 @@ mod tests {
     fn heavy_valid_on_sample() {
         let t = sample();
         let d = PathDecomposition::build(&t, PathStrategy::HeavyPath, &Meter::disabled());
-        d.validate(&t).unwrap();
+        d.validate(&t).expect("decomposition invariants hold");
         // Edge count preserved.
         let total: usize = d.paths().iter().map(|p| p.len()).sum();
         assert_eq!(total, 6);
@@ -262,7 +262,7 @@ mod tests {
     fn bough_valid_on_sample() {
         let t = sample();
         let d = PathDecomposition::build(&t, PathStrategy::Bough, &Meter::disabled());
-        d.validate(&t).unwrap();
+        d.validate(&t).expect("decomposition invariants hold");
     }
 
     #[test]
@@ -303,7 +303,7 @@ mod tests {
             assert_eq!(d.path(0).len(), 99);
             // Ordered shallow-to-deep.
             assert_eq!(d.path(0)[0], 1);
-            assert_eq!(*d.path(0).last().unwrap(), 99);
+            assert_eq!(*d.path(0).last().expect("path 0 is non-empty"), 99);
         }
     }
 

@@ -13,7 +13,9 @@
 //! * [`monge`] — SMAWK and divide-and-conquer Monge minimum searches;
 //! * [`sparsify`] — skeletons, sampling hierarchies, certificates;
 //! * [`mincut`] — the paper's algorithms: 2-respecting solver, tree
-//!   packing, approximate and exact minimum cut.
+//!   packing, approximate and exact minimum cut;
+//! * [`fault`] — robustness substrate: typed errors, deadlines and
+//!   degradation flags, and the deterministic fault-injection plane.
 //!
 //! ```
 //! use parallel_mincut::prelude::*;
@@ -23,6 +25,7 @@
 //! assert_eq!(result.cut.value, 4); // two ring bridges of weight 2
 //! ```
 
+pub use pmc_fault as fault;
 pub use pmc_graph as graph;
 pub use pmc_mincut as mincut;
 pub use pmc_monge as monge;
@@ -38,11 +41,13 @@ pub mod prelude {
         stoer_wagner_mincut, CutResult, Graph, GraphBuilder,
     };
     pub use pmc_mincut::{
-        approx_mincut, approx_mincut_eps, approx_mincut_in, exact_mincut, exact_mincut_in,
-        mincut_small, mincut_small_in, naive_two_respecting, two_respecting_mincut,
-        two_respecting_mincut_in, ApproxParams, ApproxResult, ExactParams, ExactResult,
-        GraphContext, InterestStrategy, TreeContext, TwoRespectParams,
+        approx_mincut, approx_mincut_eps, approx_mincut_in, exact_mincut,
+        exact_mincut_deadline, exact_mincut_in, exact_mincut_robust, mincut_small,
+        mincut_small_in, naive_two_respecting, two_respecting_mincut,
+        two_respecting_mincut_in, ApproxParams, ApproxResult, BatchOutcome, ExactParams,
+        ExactResult, GraphContext, InterestStrategy, TreeContext, TwoRespectParams,
     };
+    pub use pmc_fault::{Deadline, DegradeReason, FaultPlan, PmcError, SolveQuality};
     pub use pmc_monge::RowMinimaStrategy;
     pub use pmc_parallel::{CostKind, CostReport, Meter};
     pub use pmc_tree::{LcaEngine, LcaStrategy};

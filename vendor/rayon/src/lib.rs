@@ -193,6 +193,23 @@ pub fn current_num_threads() -> usize {
     current_context().num_threads
 }
 
+/// Snapshot of scheduler health counters — the observable side of the
+/// pool-survivability guarantee (a worker whose loop panics is
+/// quarantined and replaced, see `pool.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolDiagnostics {
+    /// Worker threads currently alive (spawned minus quarantined).
+    pub workers_live: usize,
+    /// Workers quarantined after a scheduler-level panic; each was
+    /// replaced by a respawn, capacity permitting.
+    pub workers_quarantined: usize,
+}
+
+/// Read the scheduler's health counters.
+pub fn pool_diagnostics() -> PoolDiagnostics {
+    pool::diagnostics()
+}
+
 /// Run `a` and `b`, in parallel when the current pool's helper-thread
 /// budget allows. `b` is pushed onto this thread's deque where an idle
 /// worker can steal it (inheriting the pool context); if nobody does,

@@ -191,10 +191,23 @@ fn new_spawn_count() -> AtomicUsize {
 /// or the pushing frame itself gets to it.
 static WORKERS_SPAWNED: Lazy<AtomicUsize> = Lazy::new(new_spawn_count);
 
+/// Workers quarantined after a scheduler-level panic unwound their
+/// loop (each one was replaced by a respawn, capacity permitting).
+static WORKERS_QUARANTINED: Lazy<AtomicUsize> = Lazy::new(new_spawn_count);
+
 #[cfg(test)]
 pub(crate) fn workers_spawned() -> usize {
     // Relaxed: a monotone telemetry read; no ordering with other state.
     WORKERS_SPAWNED.get().load(Ordering::Relaxed)
+}
+
+/// Health counters for [`crate::pool_diagnostics`].
+pub(crate) fn diagnostics() -> crate::PoolDiagnostics {
+    // Relaxed: telemetry snapshot; no ordering with other state.
+    crate::PoolDiagnostics {
+        workers_live: WORKERS_SPAWNED.get().load(Ordering::Relaxed),
+        workers_quarantined: WORKERS_QUARANTINED.get().load(Ordering::Relaxed),
+    }
 }
 
 pub(crate) fn worker_cap() -> usize {
@@ -223,6 +236,9 @@ fn try_spawn_worker() {
 /// (under the cap). Returns without blocking either way — if neither
 /// is possible the pushing frame runs the job itself while waiting.
 fn push_job(job: Job) {
+    // Delay-capable probe: lets chaos plans stretch the window between
+    // the push and the wake-up/steal it advertises.
+    sync::fault::point("rayon:push");
     let dq = local_deque();
     dq.lock().push_back(job);
     if sync::mutation("drop_wake_signal") {
@@ -271,6 +287,9 @@ fn find_work(steal_half: bool) -> Option<Job> {
     if let Some(job) = mine.lock().pop_back() {
         return Some(job);
     }
+    // Delay-capable probe: lets chaos plans reorder thieves against
+    // pushes and each other before the victim scan.
+    sync::fault::point("rayon:steal");
     // Pick the victim with the longest queue — the best rebalance per
     // lock acquisition under skew.
     let all = registry_snapshot();
@@ -331,7 +350,36 @@ fn worker_loop() {
     // Register this worker's deque up front so joiners can steal from
     // it even before its first job.
     let _ = local_deque();
+    // Job panics never unwind into this frame — every job traps its
+    // panic internally and routes it to the joiner's latch — so an
+    // unwind out of the scan/run/park loop means scheduler-level
+    // trouble: an injected `rayon:worker_tick` fault, or a genuine
+    // bug. Either way the thread is quarantined and replaced instead
+    // of silently shrinking the pool.
+    if catch_unwind(AssertUnwindSafe(worker_body)).is_err() {
+        quarantine_worker();
+    }
+}
+
+/// A worker died mid-loop: account for it and grow a replacement so
+/// pool capacity survives repeated failures. Jobs left in the dead
+/// worker's deque are not lost — the registry keeps the deque alive
+/// and visible to every thief.
+fn quarantine_worker() {
+    // Relaxed on both counters: telemetry plus the same pure admission
+    // cap as `try_spawn_worker`; no memory is published through them.
+    WORKERS_QUARANTINED.get().fetch_add(1, Ordering::Relaxed);
+    WORKERS_SPAWNED.get().fetch_sub(1, Ordering::Relaxed);
+    try_spawn_worker();
+}
+
+fn worker_body() {
     loop {
+        // Panic-capable probe: the only place a fault plan can kill a
+        // worker. Sits at the top of the tick, where no lock is held
+        // and no job is in hand, so the unwind `worker_loop` absorbs
+        // cannot strand scheduler state.
+        sync::fault::point_panicking("rayon:worker_tick");
         if let Some(job) = find_work(true) {
             job.run();
             continue;
@@ -464,6 +512,11 @@ where
         let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
             let ctx = slot.context();
             let result = catch_unwind(AssertUnwindSafe(|| {
+                // Panic-capable probe *inside* the job's own
+                // catch_unwind: an injected panic here takes the exact
+                // path a panicking user closure takes — captured,
+                // routed to the joiner's latch, re-raised there.
+                sync::fault::point_panicking("rayon:job_run");
                 // The job inherits the *installed* pool, wherever it
                 // ends up running: nested joins see the same thread
                 // count and charge the same helper budget.

@@ -217,6 +217,19 @@ pub(crate) use facade::atomic;
 pub(crate) use facade::thread;
 pub(crate) use facade::{check, mutation, Condvar, GlobalRef, Lazy, Mutex, MutexGuard};
 
+/// Fault-injection probes (`pmc-fault`), routed through the facade like
+/// every other cross-cutting concern so scheduler code has a single
+/// gateway. Identical in normal and model builds: when no fault scope
+/// is armed a probe is one relaxed atomic load, and the chaos suite
+/// never arms plans under the model checker, so the schedule space is
+/// unchanged. `point` honours delay/exhaust ops only; `point_panicking`
+/// may additionally raise a typed `InjectedPanic` and is placed *only*
+/// where an unwind is provably absorbed (a job's `catch_unwind`, or the
+/// quarantine guard in `worker_loop`).
+pub(crate) mod fault {
+    pub(crate) use pmc_fault::{point, point_panicking};
+}
+
 // `Arc` needs no instrumentation (it is shared memory, not a schedule
 // point), but routing it through the facade keeps the lint rule simple:
 // *no* `std::sync` names appear elsewhere in the crate.
