@@ -1,0 +1,102 @@
+//! Criterion bench for the fused batch kernels (DESIGN.md §13): the
+//! single-sweep `sum_rects` against the per-rect peel loop, and the
+//! sorted Euler-tour LCA batch against per-query sparse-table probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_parallel::Meter;
+use pmc_range::{Point2, RangeTree2D};
+use pmc_tree::{RootedTree, SparseLca};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn points2(m: usize, universe: u32, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| Point2 {
+            x: rng.random_range(0..universe),
+            y: rng.random_range(0..universe),
+            w: rng.random_range(1..16),
+        })
+        .collect()
+}
+
+fn rects(count: usize, universe: u32, seed: u64) -> Vec<(u32, u32, u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let a = rng.random_range(0..universe);
+            let b = rng.random_range(0..universe);
+            let c = rng.random_range(0..universe);
+            let d = rng.random_range(0..universe);
+            (a.min(b), a.max(b), c.min(d), c.max(d))
+        })
+        .collect()
+}
+
+fn bench_sum_rects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_sum_rects");
+    group.sample_size(10);
+    let m = 100_000;
+    let tree = RangeTree2D::build(points2(m, m as u32, 11), m, 0.3, &Meter::disabled());
+    let meter = Meter::disabled();
+    for count in [64usize, 512, 4096] {
+        let rs = rects(count, m as u32, count as u64);
+        group.bench_with_input(BenchmarkId::new("per_rect", count), &count, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x1, x2, y1, y2) in &rs {
+                    acc = acc.wrapping_add(tree.sum_rect(x1, x2, y1, y2, &meter));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused", count), &count, |b, _| {
+            b.iter(|| black_box(tree.sum_rects(&rs, &meter)))
+        });
+    }
+    group.finish();
+}
+
+fn random_tree(n: usize, seed: u64) -> RootedTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parent: Vec<u32> =
+        (0..n as u32).map(|v| if v == 0 { 0 } else { rng.random_range(0..v) }).collect();
+    RootedTree::from_parents(0, &parent)
+}
+
+fn bench_lca_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_lca_batch");
+    group.sample_size(10);
+    let n = 50_000;
+    let tree = random_tree(n, 21);
+    let lca = SparseLca::build(&tree, &Meter::disabled());
+    let mut rng = StdRng::seed_from_u64(22);
+    for count in [256usize, 4096, 32_768] {
+        let pairs: Vec<(u32, u32)> = (0..count)
+            .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("per_query", count), &count, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &(u, v) in &pairs {
+                    acc = acc.wrapping_add(lca.lca(u, v));
+                }
+                black_box(acc)
+            })
+        });
+        let mut out = Vec::new();
+        let mut order = Vec::new();
+        let mut stack = Vec::new();
+        group.bench_with_input(BenchmarkId::new("batched", count), &count, |b, _| {
+            b.iter(|| {
+                lca.lca_batch_into(&pairs, &mut out, &mut order, &mut stack);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sum_rects, bench_lca_batch);
+criterion_main!(benches);

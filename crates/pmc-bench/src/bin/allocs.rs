@@ -1,0 +1,150 @@
+//! E-allocs — the memory-discipline gauge: allocations and peak bytes
+//! per phase, and the fused-batch vs per-query wall clock.
+//!
+//! The binary installs the counting allocator
+//! ([`pmc_bench::alloc_meter::CountingAlloc`]) for the whole process,
+//! builds one workload + `TreeContext`, warms the batched query
+//! kernels, then gauges the **steady-state** `cut_batch_into` /
+//! `cov_batch_into` calls — which must perform zero heap allocations
+//! once warm (DESIGN.md §13) — and times the same request batch through
+//! the per-query path for comparison. Everything lands in
+//! `BENCH_allocs.json`.
+//!
+//! `cargo run -p pmc-bench --release --bin allocs [n]` prints the
+//! gauges; `--smoke` additionally *asserts* the steady-state gauges are
+//! exactly zero — the CI gate behind the zero-allocation claim. Unlike
+//! the speedup smokes this gate needs no minimum hardware parallelism
+//! (the steady path is single-threaded by design), so it always arms.
+
+use pmc_bench::alloc_meter::{self, AllocGauge, CountingAlloc};
+use pmc_bench::{workloads, BenchRecord};
+use pmc_mincut::engine::TreeContext;
+use pmc_mincut::TwoRespectParams;
+use pmc_parallel::meter::{CostKind, Meter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Requests per batch: large enough that the grouped path (sort + fused
+/// range sweep) engages and the per-query comparison is measurable.
+const BATCH: usize = 20_000;
+/// Timing repetitions (min is reported — steadiest on a busy box).
+const REPS: usize = 5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let n: usize = args.iter().skip(1).find_map(|a| a.parse().ok()).unwrap_or(2_000);
+
+    // Phase 1+2: workload + context construction (allocates freely).
+    let ((graph, tree_edges), build_gauge) =
+        alloc_meter::measure(|| workloads::graph_with_tree(n, 0.5, 23));
+    let (ctx, ctx_gauge) = alloc_meter::measure(|| {
+        TreeContext::from_edges(&graph, &tree_edges, 0, &TwoRespectParams::default(), &Meter::disabled())
+    });
+
+    // Request batch: hot pairs with duplicates, like a serving mix.
+    let mut rng = StdRng::seed_from_u64(7);
+    let hot: Vec<(u32, u32)> = (0..(n as u32 / 2).max(8))
+        .map(|_| (rng.random_range(1..n as u32), rng.random_range(1..n as u32)))
+        .collect();
+    let pairs: Vec<(u32, u32)> =
+        (0..BATCH).map(|_| hot[rng.random_range(0..hot.len())]).collect();
+    let es: Vec<u32> = (0..BATCH).map(|_| rng.random_range(1..n as u32)).collect();
+    let meter = Meter::disabled();
+
+    // Phase 3: warm-up — first calls size every scratch buffer.
+    let mut cut_out: Vec<u64> = Vec::new();
+    let mut cov_out: Vec<u64> = Vec::new();
+    let (_, warm_gauge) = alloc_meter::measure(|| {
+        ctx.cut_batch_into(&pairs, &mut cut_out, &meter);
+        ctx.cov_batch_into(&es, &mut cov_out);
+    });
+
+    // Phase 4: steady state — must be allocation free.
+    let (_, steady_cut) =
+        alloc_meter::measure(|| ctx.cut_batch_into(&pairs, &mut cut_out, &meter));
+    let (_, steady_cov) = alloc_meter::measure(|| ctx.cov_batch_into(&es, &mut cov_out));
+
+    // Wall clock: the same batch per-query vs batched (the batched path
+    // dedups hot pairs and answers all rectangles in one fused sweep).
+    let mut single: Vec<u64> = Vec::with_capacity(pairs.len());
+    let mut per_query_ms = f64::MAX;
+    for _ in 0..REPS {
+        single.clear();
+        let t0 = Instant::now();
+        single.extend(pairs.iter().map(|&(e, f)| ctx.cut(e, f, &meter)));
+        per_query_ms = per_query_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut batched_ms = f64::MAX;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        ctx.cut_batch_into(&pairs, &mut cut_out, &meter);
+        batched_ms = batched_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    assert_eq!(single, cut_out, "batched and per-query values must agree");
+
+    // Distinct-query volume for the record (the dedup factor).
+    let qmeter = Meter::enabled();
+    ctx.cut_batch_into(&pairs, &mut cut_out, &qmeter);
+    let distinct = qmeter.get(CostKind::CutQuery);
+
+    let speedup = per_query_ms / batched_ms;
+    println!("E-allocs: n={n}, m={}, batch={BATCH} ({distinct} distinct cut queries)", graph.m());
+    print_gauge("build (graph+tree gen)", &build_gauge);
+    print_gauge("build (TreeContext)", &ctx_gauge);
+    print_gauge("warm-up batch", &warm_gauge);
+    print_gauge("steady cut_batch_into", &steady_cut);
+    print_gauge("steady cov_batch_into", &steady_cov);
+    println!(
+        "wall: per-query {per_query_ms:.2} ms, batched {batched_ms:.2} ms ({speedup:.2}x)"
+    );
+
+    BenchRecord {
+        experiment: "allocs".into(),
+        workload: format!("nonsparse n={n}"),
+        n,
+        m: graph.m(),
+        runs: vec![(1, per_query_ms), (1, batched_ms)],
+        metered_queries: distinct,
+        speedup,
+        extra: vec![
+            ("batch".into(), BATCH as f64),
+            ("build_allocs".into(), (build_gauge.allocs + ctx_gauge.allocs) as f64),
+            ("warmup_allocs".into(), warm_gauge.allocs as f64),
+            ("warmup_peak_bytes".into(), warm_gauge.peak_growth_bytes as f64),
+            ("steady_cut_batch_allocs".into(), steady_cut.allocs as f64),
+            ("steady_cut_batch_peak_bytes".into(), steady_cut.peak_growth_bytes as f64),
+            ("steady_cov_batch_allocs".into(), steady_cov.allocs as f64),
+            ("steady_cov_batch_peak_bytes".into(), steady_cov.peak_growth_bytes as f64),
+            ("per_query_ms".into(), per_query_ms),
+            ("batched_ms".into(), batched_ms),
+        ],
+    }
+    .write_and_announce();
+
+    if smoke {
+        assert_eq!(
+            (steady_cut.allocs, steady_cut.peak_growth_bytes),
+            (0, 0),
+            "steady-state cut_batch_into must be allocation free after warm-up"
+        );
+        assert_eq!(
+            (steady_cov.allocs, steady_cov.peak_growth_bytes),
+            (0, 0),
+            "steady-state cov_batch_into must be allocation free after warm-up"
+        );
+        assert!(
+            warm_gauge.allocs > 0,
+            "warm-up gauge is implausibly zero — is the counting allocator installed?"
+        );
+        println!("PASS: steady-state batch queries perform 0 heap allocations");
+    }
+}
+
+fn print_gauge(phase: &str, g: &AllocGauge) {
+    println!("  {phase:<28} {:>10} allocs  {:>12} peak bytes", g.allocs, g.peak_growth_bytes);
+}

@@ -4,8 +4,9 @@
 //! scaling table against an explicit 1-thread baseline and records the
 //! curve to `BENCH_speedup.json`.
 //!
-//! `--smoke [n] [--workload uniform|fishbone]` runs a CI gate instead:
-//! the chosen workload at `n` (default 20 000 uniform, 6 000 fishbone)
+//! `--smoke [n] [--workload uniform|fishbone|powerlaw|nearclique]`
+//! runs a CI gate instead: the chosen workload at `n` (defaults:
+//! 20 000 uniform, 6 000 fishbone, 8 000 powerlaw, 1 500 nearclique)
 //! must show a measurable speedup at 4 threads over the fixed 1-thread
 //! baseline, with identical cut values. The uniform floor is 1.4×
 //! (raised from 1.3× when work stealing landed); the fishbone
@@ -69,6 +70,10 @@ fn smoke(args: &[String]) {
     // new, the static splitter starved it entirely.
     let (min_speedup, default_n) = match which.as_str() {
         "fishbone" => (1.3, 6_000),
+        // Dense regimes: smaller n, m is what grows (nearclique is
+        // Θ(n²) edges — 1 500 vertices is already ~1M edges).
+        "nearclique" => (1.4, 1_500),
+        "powerlaw" => (1.4, 8_000),
         _ => (1.4, 20_000),
     };
     let n: usize = args

@@ -6,6 +6,7 @@
 //! Criterion micro-benches. Results print as aligned text tables so
 //! `EXPERIMENTS.md` can quote them directly.
 
+pub mod alloc_meter;
 pub mod bench_json;
 pub mod experiments;
 pub mod table;

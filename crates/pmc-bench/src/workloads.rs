@@ -81,12 +81,40 @@ pub fn fishbone(n: usize, seed: u64) -> Workload {
     Workload { name: format!("fishbone n={nn}"), graph: b.build() }
 }
 
-/// Resolve a smoke-workload name (`uniform` or `fishbone`) at size `n`.
+/// Power-law community graph: heavy-tailed degrees inside each block,
+/// light ring bridges between blocks (`generators::power_law_community`).
+/// `k ~ sqrt(n)/2` attachment edges per vertex keep it in the paper's
+/// non-sparse regime (`m ≈ k·n = Θ(n^1.5)`) while the hub/bridge
+/// structure is as far from uniform G(n, m) as the suite gets.
+pub fn power_law(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = ((n as f64).sqrt() / 2.0).ceil() as usize;
+    let communities = (n / 64).clamp(2, 8);
+    let graph = generators::power_law_community(n, communities, k.max(2), 16, &mut rng);
+    Workload { name: format!("powerlaw n={n}"), graph }
+}
+
+/// Near-clique dense graph: the complete graph with ~15% of edges
+/// dropped (`generators::near_clique`) — `m = Θ(n²)`, the extreme end
+/// of the `m ≥ n^{1+ε}` regime where the work-optimality claim bites
+/// hardest and the 2-D range-tree grids are fullest.
+pub fn near_clique(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::near_clique(n, 0.15, 16, &mut rng);
+    Workload { name: format!("nearclique n={n}"), graph }
+}
+
+/// Resolve a smoke-workload name (`uniform`, `fishbone`, `powerlaw`,
+/// or `nearclique`) at size `n`.
 pub fn by_name(name: &str, n: usize, seed: u64) -> Workload {
     match name {
         "uniform" => non_sparse(n, seed),
         "fishbone" => fishbone(n, seed),
-        other => panic!("unknown workload {other:?} (expected: uniform, fishbone)"),
+        "powerlaw" => power_law(n, seed),
+        "nearclique" => near_clique(n, seed),
+        other => panic!(
+            "unknown workload {other:?} (expected: uniform, fishbone, powerlaw, nearclique)"
+        ),
     }
 }
 
@@ -120,9 +148,40 @@ mod tests {
             planted(40, 3, 4),
             heavy(24, 5),
             fishbone(100, 6),
+            power_law(128, 7),
+            near_clique(48, 8),
         ] {
             assert!(w.graph.is_connected(), "{}", w.name);
         }
+    }
+
+    #[test]
+    fn power_law_is_non_sparse_with_hubs() {
+        let w = power_law(256, 11);
+        let g = &w.graph;
+        assert_eq!(g.n(), 256);
+        // k = 8 attachment edges per non-seed vertex: Θ(n^1.5) regime.
+        assert!(g.m() >= 6 * g.n(), "m={} should be ≈ k·n", g.m());
+        // Preferential attachment grows hubs: the max degree must tower
+        // over the per-vertex attachment count.
+        let mut deg = vec![0u64; g.n()];
+        for e in g.edges() {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        let max_deg = *deg.iter().max().unwrap();
+        assert!(max_deg >= 40, "max degree {max_deg} should be a hub");
+        assert_eq!(by_name("powerlaw", 256, 11).graph.m(), g.m());
+    }
+
+    #[test]
+    fn near_clique_is_quadratically_dense() {
+        let w = near_clique(64, 12);
+        let g = &w.graph;
+        let full = g.n() * (g.n() - 1) / 2;
+        assert!(g.m() > full * 7 / 10, "m={} of {full}: near-complete", g.m());
+        assert!(g.m() <= full);
+        assert_eq!(by_name("nearclique", 64, 12).graph.m(), g.m());
     }
 
     #[test]

@@ -291,6 +291,85 @@ pub fn non_sparse(n: usize, alpha: f64, max_w: u64, rng: &mut impl Rng) -> Graph
     gnm_connected(n, m.saturating_sub(n - 1), max_w, rng)
 }
 
+/// Power-law community graph: `communities` contiguous vertex blocks,
+/// each grown by preferential attachment (every new vertex adds `k`
+/// edges whose targets are drawn degree-proportionally from its block),
+/// then consecutive blocks joined into a ring by single bridge edges.
+///
+/// Degree-proportional sampling uses the classic endpoint-list trick —
+/// every edge pushes both endpoints onto a list and targets are drawn
+/// uniformly from it — so hubs emerge with a heavy-tailed degree
+/// profile. With `k ≈ n^alpha` per vertex this sits in the paper's
+/// non-sparse regime (`m = Θ(k·n)`) while looking nothing like a
+/// uniform G(n, m): cuts around hubs are expensive, cuts along the
+/// ring bridges are cheap, which exercises the solver's interest
+/// search far from the uniform workloads. Connected by construction
+/// (attachment within blocks, bridges across).
+pub fn power_law_community(
+    n: usize,
+    communities: usize,
+    k: usize,
+    max_w: u64,
+    rng: &mut impl Rng,
+) -> Graph {
+    assert!(n >= 2 && k >= 1);
+    // Each block needs at least 2 vertices for attachment to make sense.
+    let communities = communities.clamp(1, n / 2);
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * k + communities);
+    let base = n / communities;
+    let start = |c: usize| if c == communities { n } else { c * base };
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    for c in 0..communities {
+        let (lo, hi) = (start(c), start(c + 1));
+        endpoints.clear();
+        endpoints.push(lo as VertexId);
+        for v in lo + 1..hi {
+            // Targets are earlier block vertices only, so no self-loops.
+            for _ in 0..k {
+                let t = endpoints[rng.random_range(0..endpoints.len())];
+                b.add_edge(v as VertexId, t, rng.random_range(1..=max_w));
+                endpoints.push(t);
+                endpoints.push(v as VertexId);
+            }
+        }
+    }
+    if communities > 1 {
+        for c in 0..communities {
+            let u = start(c) as VertexId;
+            let v = start((c + 1) % communities) as VertexId;
+            b.add_edge(u, v, rng.random_range(1..=max_w));
+        }
+    }
+    b.build()
+}
+
+/// Near-clique: the complete graph on `n` vertices with every non-path
+/// edge independently *dropped* with probability `drop`, weights
+/// uniform in `1..=max_w`. The Hamiltonian path `0–1–…–(n-1)` is always
+/// kept, so the graph is connected for every `drop < 1`.
+///
+/// This is the extreme end of the paper's `m ≥ n^{1+ε}` regime
+/// (`m = Θ(n²)`), where the work-optimality claim bites hardest: the
+/// dense-graph benches use it to stress the 2-D range tree with the
+/// fullest grids a given `n` can produce.
+pub fn near_clique(n: usize, drop: f64, max_w: u64, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2);
+    assert!((0.0..1.0).contains(&drop), "drop must be in [0, 1)");
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            let backbone = v == u + 1;
+            if !backbone && rng.random::<f64>() < drop {
+                continue;
+            }
+            b.add_edge(u as VertexId, v as VertexId, rng.random_range(1..=max_w));
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,10 +15,16 @@
 //! | `static-mut`            | any `static mut` item                                   |
 //! | `relaxed`               | `::Relaxed` ordering without a nearby justifying comment |
 //! | `unwrap-invariant`      | bare `.unwrap()` in library code (`crates/*/src`, non-bin, outside `#[cfg(test)]`) without a nearby `INVARIANT:` comment |
+//! | `hotpath-alloc`         | `Vec::new(` / `vec![` / `.collect(` in a marked hot-path module, outside `#[cfg(test)]`, without a nearby `HOTPATH:` comment |
 //!
 //! Escape hatch: a comment `lint: allow(<rule>)` on the offending line
 //! or in the contiguous comment block directly above it. The pragma is
-//! deliberately per-site — there is no file-level opt-out.
+//! deliberately per-site — there is no file-level opt-out. The
+//! `hotpath-alloc` rule is inverted: it is *opt-in per file* via the
+//! [`HOTPATH_MARKER`] comment, because only the steady-state query
+//! kernels carry the zero-allocation contract (DESIGN.md §13).
+//! `Vec::with_capacity` is deliberately not flagged — sizing a buffer
+//! once up front is the sanctioned warm-up idiom.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -29,6 +35,13 @@ const RULE_FACADE: &str = "facade";
 const RULE_STATIC_MUT: &str = "static-mut";
 const RULE_RELAXED: &str = "relaxed";
 const RULE_UNWRAP: &str = "unwrap-invariant";
+const RULE_HOTPATH: &str = "hotpath-alloc";
+
+/// The opt-in marker for the `hotpath-alloc` rule: a file containing
+/// this comment anywhere declares itself a zero-allocation hot-path
+/// module, and every allocating idiom in its non-test code must carry a
+/// `HOTPATH:` justification (warm-up, build phase, cold fallback).
+const HOTPATH_MARKER: &str = "lint: hotpath-module";
 
 /// How many lines above a `::Relaxed` use may hold its justification —
 /// enough to cover a comment above a multi-line `compare_exchange`
@@ -280,6 +293,20 @@ fn has_invariant_comment(lines: &[Line], i: usize) -> bool {
     lines[lo..=i].iter().any(|l| l.comment.contains("INVARIANT"))
 }
 
+/// Is a `HOTPATH` justification comment within the window above (or
+/// on) line `i`? Same window as the relaxed/invariant rules.
+fn has_hotpath_comment(lines: &[Line], i: usize) -> bool {
+    let lo = i.saturating_sub(RELAXED_COMMENT_WINDOW);
+    lines[lo..=i].iter().any(|l| l.comment.contains("HOTPATH"))
+}
+
+/// The allocating idioms the hot-path rule watches for. Matched against
+/// the lexed code stream, so occurrences in comments and string
+/// literals never fire.
+fn allocating_idiom(code: &str) -> Option<&'static str> {
+    ["Vec::new(", "vec![", ".collect("].into_iter().find(|needle| code.contains(needle))
+}
+
 /// Does the unwrap rule apply to this file? Library sources only:
 /// `crates/*/src`, excluding binary targets (`src/bin`, `main.rs`) and
 /// test/bench trees — bins and tests may `expect` with context, and the
@@ -315,6 +342,7 @@ fn check_source(path: &Path, source: &str) -> Vec<Violation> {
     };
     let facade_applies = facade_scoped(path);
     let unwrap_applies = unwrap_scoped(path);
+    let hotpath_applies = lines.iter().any(|l| l.comment.contains(HOTPATH_MARKER));
     // Inline test modules are exempt from the unwrap rule: everything
     // from the first `#[cfg(test)]` line down is test code (the
     // workspace convention keeps test modules at the end of the file).
@@ -398,6 +426,23 @@ fn check_source(path: &Path, source: &str) -> Vec<Violation> {
                  expect with context, or state the invariant in an \
                  `// INVARIANT:` comment",
             );
+        }
+
+        if hotpath_applies && i < test_start {
+            if let Some(idiom) = allocating_idiom(code) {
+                if !has_hotpath_comment(&lines, i) && !pragma_allows(&lines, i, RULE_HOTPATH) {
+                    push(
+                        i,
+                        RULE_HOTPATH,
+                        &format!(
+                            "`{idiom}` in a hot-path module; reuse a scratch buffer \
+                             (clear + extend / resize), or justify the allocation \
+                             with a `// HOTPATH:` comment (warm-up, build phase, \
+                             cold fallback)"
+                        ),
+                    );
+                }
+            }
         }
     }
     out
@@ -632,6 +677,49 @@ mod tests {
     #[test]
     fn unwrap_in_strings_and_comments_does_not_fire() {
         let src = "fn f() { let s = \".unwrap() in a string\"; }\n// prose mentioning .unwrap() only\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hotpath_alloc_fires_only_in_marked_modules() {
+        let alloc = "fn f() -> Vec<u32> {\n    let v = Vec::new();\n    v\n}\n";
+        // Unmarked files allocate freely.
+        assert!(rules("crates/x/src/lib.rs", alloc).is_empty());
+        let marked = format!("// lint: hotpath-module\n{alloc}");
+        assert_eq!(rules("crates/x/src/lib.rs", &marked), vec![RULE_HOTPATH]);
+    }
+
+    #[test]
+    fn hotpath_alloc_flags_each_allocating_idiom() {
+        for snippet in
+            ["let v = Vec::new();", "let v = vec![0u32; 8];", "let v: Vec<u32> = it.collect();"]
+        {
+            let src = format!("// lint: hotpath-module\nfn f() {{\n    {snippet}\n}}\n");
+            assert_eq!(rules("crates/x/src/lib.rs", &src), vec![RULE_HOTPATH], "{snippet}");
+        }
+        // Sizing a buffer once up front is the sanctioned idiom.
+        let src = "// lint: hotpath-module\nfn f() { let v: Vec<u32> = Vec::with_capacity(8); }\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hotpath_comment_within_window_justifies_the_allocation() {
+        let src = "// lint: hotpath-module\nfn f() {\n    // HOTPATH: warm-up only — sized once, reused thereafter.\n    let v: Vec<u32> = Vec::new();\n    drop(v);\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+        // Same-line trailing justification counts too.
+        let src = "// lint: hotpath-module\nfn f() { let v: Vec<u32> = Vec::new(); } // HOTPATH: cold fallback.\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+        // The pragma escape works as for every other rule.
+        let src = "// lint: hotpath-module\nfn f() { let v: Vec<u32> = Vec::new(); } // lint: allow(hotpath-alloc)\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hotpath_alloc_exempts_test_modules_and_non_code() {
+        let src = "// lint: hotpath-module\nfn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let v: Vec<u32> = Vec::new(); drop(v); }\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+        // Idioms inside strings and comments never fire.
+        let src = "// lint: hotpath-module\nfn f() { let s = \"Vec::new( vec![ .collect(\"; }\n// prose: Vec::new( is banned here\n";
         assert!(rules("crates/x/src/lib.rs", src).is_empty());
     }
 }

@@ -18,12 +18,13 @@
 //!   when nested — one or two rectangle sums either way.
 //! * `cut(e,f) = cov(e) + cov(f) - 2 cov(e,f)` in *every* configuration.
 
+// lint: hotpath-module
 use pmc_fault::{Deadline, SolveQuality};
 use pmc_graph::Graph;
 use pmc_parallel::meter::{CostKind, Meter};
+use pmc_parallel::scratch::{with_scratch, Scratch};
 use pmc_range::{Point2, RangeTree2D};
 use pmc_tree::{LcaOracle, RootedTree};
-use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Result of a deadline-bounded batch ([`CutQuery::cut_batch_until`]):
@@ -91,15 +92,26 @@ impl<'a> CutQuery<'a> {
             },
             || {
                 // cov via the LCA difference trick: +w at both endpoints,
-                // -2w at the LCA; subtree sums in postorder.
+                // -2w at the LCA; subtree sums in postorder. The m LCA
+                // queries go through the *batched* oracle kernel: one
+                // sorted sweep over the Euler tour instead of m
+                // independent RMQs (bit-identical answers and meter
+                // charges; see `LcaOracle::lca_batch_metered`).
+                // HOTPATH: warmup — build-time staging, once per tree.
+                let mut pairs = Vec::with_capacity(g.m());
+                pairs.extend(g.edges().iter().map(|e| (e.u, e.v)));
+                // HOTPATH: warmup — build-time staging, once per tree.
+                let mut lcas = Vec::with_capacity(g.m());
+                with_scratch(|s| lca.lca_batch_metered(&pairs, &mut lcas, s, meter));
+                // HOTPATH: warmup — build-time array, once per tree.
                 let mut diff = vec![0i64; n];
-                for e in g.edges() {
-                    let l = lca.lca_metered(e.u, e.v, meter);
+                for (e, &l) in g.edges().iter().zip(lcas.iter()) {
                     diff[e.u as usize] += e.w as i64;
                     diff[e.v as usize] += e.w as i64;
                     diff[l as usize] -= 2 * e.w as i64;
                 }
                 meter.add(CostKind::TreeOp, g.m() as u64 + n as u64);
+                // HOTPATH: warmup — build-time array, once per tree.
                 let mut cov_acc = vec![0i64; n];
                 for idx in 0..n as u32 {
                     let v = tree.vertex_at_post(idx);
@@ -109,6 +121,7 @@ impl<'a> CutQuery<'a> {
                     }
                     cov_acc[v as usize] = acc;
                 }
+                // HOTPATH: warmup — the coverage arena itself.
                 cov_acc
                     .into_iter()
                     .map(|x| u64::try_from(x).expect("coverage must be non-negative"))
@@ -162,65 +175,144 @@ impl<'a> CutQuery<'a> {
         &self.cov
     }
 
-    /// Batched coverage lookup over a slice of tree edges — a parallel
-    /// gather from the flat coverage arena.
-    pub fn cov_batch(&self, es: &[u32]) -> Vec<u64> {
+    /// Batched coverage lookup over a slice of tree edges — a gather
+    /// from the flat coverage arena into a caller-owned buffer.
+    /// Allocation free once `out` is warm: this is the steady-state
+    /// serving form gated by the counting-allocator smoke.
+    pub fn cov_batch_into(&self, es: &[u32], out: &mut Vec<u64>) {
         // Delay/exhaust-capable probe (inert unless a fault plan is
         // armed): lets chaos plans stall or expire a batch stage.
         pmc_fault::point("engine:cov_batch");
-        es.par_iter().map(|&v| self.cov(v)).collect()
+        out.clear();
+        out.extend(es.iter().map(|&v| self.cov(v)));
     }
 
-    /// Batched cut queries, deterministic output order. `e == f`
-    /// entries degenerate to the 1-respecting value, mirroring
-    /// [`CutQuery::cut`].
+    /// Batched coverage lookup returning a fresh buffer — the
+    /// convenience form of [`CutQuery::cov_batch_into`].
+    pub fn cov_batch(&self, es: &[u32]) -> Vec<u64> {
+        // HOTPATH: warmup — compat wrapper; the zero-alloc serving path
+        // is `cov_batch_into` with a caller-owned buffer.
+        let mut out = Vec::with_capacity(es.len());
+        self.cov_batch_into(es, &mut out);
+        out
+    }
+
+    /// Batched cut queries into caller-owned buffers, deterministic
+    /// output order. `e == f` entries degenerate to the 1-respecting
+    /// value, mirroring [`CutQuery::cut`].
     ///
-    /// Large batches are radix-grouped on the packed `(e, f)` key so
+    /// Large batches are grouped on the packed `(e, f)` key so
     /// duplicate pairs — common when many clients probe the same hot
     /// cuts — are evaluated once and scattered back to every requester;
     /// the meter consequently counts *distinct* queries. Small batches
     /// skip the grouping pass and map directly.
-    pub fn cut_batch(&self, pairs: &[(u32, u32)], meter: &Meter) -> Vec<u64> {
-        // Delay/exhaust-capable probe, see `cov_batch`.
+    ///
+    /// All transients live in `scratch`; every distinct pair's 1–2
+    /// complement rectangles are submitted to the range tree's fused
+    /// single-sweep kernel ([`RangeTree2D::sum_rects_tagged`]) rather
+    /// than probed pair by pair. With warm buffers the whole batch runs
+    /// with **zero heap allocations** (the counting-allocator gate in
+    /// `pmc-bench` pins this), and the values and meter charges are
+    /// bit-identical to per-pair [`CutQuery::cut`] probes.
+    pub fn cut_batch_with(
+        &self,
+        pairs: &[(u32, u32)],
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+        meter: &Meter,
+    ) {
+        // Delay/exhaust-capable probe, see `cov_batch_into`.
         pmc_fault::point("engine:cut_batch");
         /// Below this size the sort costs more than duplicate probes.
         const GROUP_CUTOFF: usize = 64;
+        out.clear();
         if pairs.len() < GROUP_CUTOFF {
-            return pairs.par_iter().map(|&(e, f)| self.cut(e, f, meter)).collect();
+            out.extend(pairs.iter().map(|&(e, f)| self.cut(e, f, meter)));
+            return;
         }
-        // Tag each pair with its slot, sort by the packed key, then
-        // evaluate one representative per run of equal keys.
-        let mut keyed: Vec<(u64, u32)> = pairs
-            .par_iter()
-            .enumerate()
-            .map(|(i, &(e, f))| (((e as u64) << 32) | f as u64, i as u32))
-            .collect();
-        pmc_parallel::sort::radix_sort_lsd(&mut keyed, |&(k, _)| k);
-        let mut runs: Vec<(usize, usize)> = Vec::new();
+        // Tag each pair with its slot and sort. `sort_unstable` on the
+        // full `(key, slot)` tuple is in-place (no allocation) and —
+        // because slots are distinct and ascending per input order —
+        // produces exactly the stable-by-key order the grouping relies
+        // on.
+        scratch.keys.clear();
+        scratch
+            .keys
+            .extend(pairs.iter().enumerate().map(|(i, &(e, f))| {
+                (((e as u64) << 32) | f as u64, i as u32)
+            }));
+        scratch.keys.sort_unstable();
+        scratch.runs.clear();
+        scratch.vals.clear();
+        scratch.rects.clear();
         let mut i = 0;
-        while i < keyed.len() {
+        while i < scratch.keys.len() {
+            let key = scratch.keys[i].0;
             let mut j = i + 1;
-            while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+            while j < scratch.keys.len() && scratch.keys[j].0 == key {
                 j += 1;
             }
-            runs.push((i, j));
+            let ri = scratch.runs.len() as u32;
+            scratch.runs.push((i as u32, j as u32));
+            // One evaluation per distinct pair: the additive part now,
+            // the rectangle part deferred to the fused sweep below.
+            let (e, f) = ((key >> 32) as u32, key as u32);
+            if e == f {
+                scratch.vals.push(self.cov(e));
+            } else {
+                meter.bump(CostKind::CutQuery);
+                scratch.vals.push(self.cov(e) + self.cov(f));
+                self.push_cov2_rects(e, f, ri, &mut scratch.rects);
+            }
             i = j;
         }
-        let keyed = &keyed;
-        let values: Vec<u64> = runs
-            .par_iter()
-            .map(|&(lo, _)| {
-                let key = keyed[lo].0;
-                self.cut((key >> 32) as u32, key as u32, meter)
-            })
-            .collect();
-        let mut out = vec![0u64; pairs.len()];
-        for (&(lo, hi), value) in runs.iter().zip(values) {
-            for &(_, slot) in &keyed[lo..hi] {
+        // Fused range-tree pass: every distinct pair's rectangles,
+        // answered in one sorted sweep over the flat arena.
+        scratch.acc.clear();
+        scratch.acc.resize(scratch.runs.len(), 0);
+        self.points.sum_rects_tagged(&scratch.rects, &mut scratch.acc, &mut scratch.cover, meter);
+        out.resize(pairs.len(), 0);
+        for (ri, &(lo, hi)) in scratch.runs.iter().enumerate() {
+            let value = scratch.vals[ri] - 2 * scratch.acc[ri];
+            for &(_, slot) in &scratch.keys[lo as usize..hi as usize] {
                 out[slot as usize] = value;
             }
         }
+    }
+
+    /// Batched cut queries returning a fresh buffer — the convenience
+    /// form of [`CutQuery::cut_batch_with`] over a pooled workspace.
+    pub fn cut_batch(&self, pairs: &[(u32, u32)], meter: &Meter) -> Vec<u64> {
+        // HOTPATH: warmup — compat wrapper; the zero-alloc serving path
+        // is `cut_batch_with` with caller-owned buffers.
+        let mut out = Vec::with_capacity(pairs.len());
+        with_scratch(|s| self.cut_batch_with(pairs, s, &mut out, meter));
         out
+    }
+
+    /// The tagged complement rectangles of `cov(e, f)` for distinct
+    /// `e != f` — exactly the rectangles [`CutQuery::cov2`] probes,
+    /// emitted for the fused sweep instead of queried on the spot.
+    fn push_cov2_rects(&self, e: u32, f: u32, tag: u32, rects: &mut Vec<(u32, u32, u32, u32, u32)>) {
+        let t = &self.tree;
+        // Nested: edges from T_low to outside T_high (two complement
+        // slabs). Disjoint: the single between-subtrees rectangle.
+        let (a, b) = if t.is_ancestor(e, f) {
+            (f, e)
+        } else if t.is_ancestor(f, e) {
+            (e, f)
+        } else {
+            rects.push((t.start(e), t.post(e), t.start(f), t.post(f), tag));
+            return;
+        };
+        let (ax1, ax2) = (t.start(a), t.post(a));
+        let (bs, bp) = (t.start(b), t.post(b));
+        if bs > 0 {
+            rects.push((ax1, ax2, 0, bs - 1, tag));
+        }
+        if bp < self.max_coord {
+            rects.push((ax1, ax2, bp + 1, self.max_coord, tag));
+        }
     }
 
     /// [`CutQuery::cut_batch`] under a cooperative [`Deadline`]: the
@@ -239,18 +331,24 @@ impl<'a> CutQuery<'a> {
         /// Chunk granularity: coarse enough that the per-chunk deadline
         /// probe is noise, fine enough that expiry reacts quickly.
         const CHUNK: usize = 256;
+        // HOTPATH: warmup — the result buffer handed to the caller.
         let mut values = Vec::with_capacity(pairs.len());
-        for chunk in pairs.chunks(CHUNK) {
-            if deadline.expired() {
-                return BatchOutcome {
-                    completed: values.len(),
-                    values,
-                    quality: SolveQuality::Degraded(deadline.degrade_reason("cut_batch")),
-                };
+        let mut quality = SolveQuality::Exact;
+        // One workspace and one chunk buffer serve every chunk: past the
+        // first chunk the loop body is allocation free.
+        with_scratch(|s| {
+            // HOTPATH: warmup — reused across all chunks of this batch.
+            let mut chunk_out = Vec::with_capacity(CHUNK);
+            for chunk in pairs.chunks(CHUNK) {
+                if deadline.expired() {
+                    quality = SolveQuality::Degraded(deadline.degrade_reason("cut_batch"));
+                    break;
+                }
+                self.cut_batch_with(chunk, s, &mut chunk_out, meter);
+                values.extend_from_slice(&chunk_out);
             }
-            values.extend(self.cut_batch(chunk, meter));
-        }
-        BatchOutcome { completed: values.len(), values, quality: SolveQuality::Exact }
+        });
+        BatchOutcome { completed: values.len(), values, quality }
     }
 
     /// Rectangle sum over `[x1,x2] x [y1,y2]` (inclusive; empty if
@@ -312,16 +410,19 @@ impl<'a> CutQuery<'a> {
         let interval = |v: u32| (t.start(v), t.post(v));
         if e == f {
             let (s, p) = interval(e);
+            // HOTPATH: warmup — result extraction, once per solve.
             return (s..=p).map(|i| t.vertex_at_post(i)).collect();
         }
         if t.is_ancestor(e, f) || t.is_ancestor(f, e) {
             let (hi, lo) = if t.is_ancestor(e, f) { (e, f) } else { (f, e) };
             let (hs, hp) = interval(hi);
             let (ls, lp) = interval(lo);
+            // HOTPATH: warmup — result extraction, once per solve.
             (hs..=hp).filter(|&i| i < ls || i > lp).map(|i| t.vertex_at_post(i)).collect()
         } else {
             let (es, ep) = interval(e);
             let (fs, fp) = interval(f);
+            // HOTPATH: warmup — result extraction, once per solve.
             (es..=ep).chain(fs..=fp).map(|i| t.vertex_at_post(i)).collect()
         }
     }

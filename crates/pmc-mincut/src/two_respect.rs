@@ -27,6 +27,8 @@ use crate::interest::{InterestEngine, InterestSearch, InterestStrategy};
 use pmc_graph::{CutResult, Graph};
 use pmc_monge::{monge_minimum_with, triangle_minimum_with, Orient, RowMinimaAlgo};
 use pmc_parallel::meter::Meter;
+use pmc_parallel::scratch::ScratchPool;
+use pmc_parallel::sort::SortScratch;
 use pmc_tree::{LcaEngine, LcaStrategy, LcaTable, PathDecomposition, PathStrategy, RootedTree};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -187,8 +189,15 @@ pub fn two_respecting_mincut_in(ctx: &TreeContext<'_>, meter: &Meter) -> TwoResp
         .reduce(|| Best::NONE, Best::min);
 
     // Stage 3: cross-path pairs via interest arms.
-    let cross =
-        cross_path_minimum(q, ctx.lca(), decomp, params.monge_algo, ctx.interest(), meter);
+    let cross = cross_path_minimum(
+        q,
+        ctx.lca(),
+        decomp,
+        params.monge_algo,
+        ctx.interest(),
+        ctx.scratch_pool(),
+        meter,
+    );
 
     let best = one.min(single).min(cross);
     debug_assert_ne!(best.value, u64::MAX);
@@ -201,12 +210,14 @@ pub fn two_respecting_mincut_in(ctx: &TreeContext<'_>, meter: &Meter) -> TwoResp
 
 /// Stage 3 worker: interest arms -> tuples -> symmetric join -> Monge
 /// blocks.
+#[allow(clippy::too_many_arguments)]
 fn cross_path_minimum(
     q: &CutQuery<'_>,
     lca: &LcaEngine,
     decomp: &PathDecomposition,
     algo: RowMinimaAlgo,
     engine: &InterestEngine,
+    pool: &ScratchPool,
     meter: &Meter,
 ) -> Best {
     let tree = q.tree();
@@ -250,7 +261,10 @@ fn cross_path_minimum(
             (((a as u64) << 32) | b as u64, side, e)
         })
         .collect();
-    sort_join_keys(&mut keyed, decomp, n);
+    // The radix passes run out of the context's recycled workspace:
+    // repeated solves against one context stop paying the sort's
+    // buffer/histogram allocations.
+    pool.with(|s| sort_join_keys(&mut keyed, decomp, n, &mut s.sort3));
 
     // Contiguous runs of one pair id = one join group.
     let mut jobs: Vec<(usize, usize)> = Vec::new();
@@ -275,9 +289,7 @@ fn cross_path_minimum(
             if r_run.is_empty() || s_run.is_empty() {
                 return Best::NONE;
             }
-            let r: Vec<u32> = r_run.iter().map(|&(_, _, e)| e).collect();
-            let s: Vec<u32> = s_run.iter().map(|&(_, _, e)| e).collect();
-            pair_minimum(q, &r, &s, algo, meter)
+            pair_minimum(q, r_run, s_run, algo, meter)
         })
         .reduce(|| Best::NONE, Best::min)
 }
@@ -291,8 +303,13 @@ fn cross_path_minimum(
 /// whose order the radix path reproduces bit-identically — see
 /// `radix_join_order_matches_comparison_sort` and the shrunken-guard
 /// test driving the fallback through [`sort_join_keys_with_limit`].
-fn sort_join_keys(keyed: &mut Vec<(u64, u32, u32)>, decomp: &PathDecomposition, n: usize) {
-    sort_join_keys_with_limit(keyed, decomp, n, 1 << 31);
+fn sort_join_keys(
+    keyed: &mut Vec<(u64, u32, u32)>,
+    decomp: &PathDecomposition,
+    n: usize,
+    scratch: &mut SortScratch<(u64, u32, u32)>,
+) {
+    sort_join_keys_with_limit(keyed, decomp, n, 1 << 31, scratch);
 }
 
 /// [`sort_join_keys`] with the packed-key guard exposed: the radix path
@@ -305,14 +322,16 @@ fn sort_join_keys_with_limit(
     decomp: &PathDecomposition,
     n: usize,
     limit: u64,
+    scratch: &mut SortScratch<(u64, u32, u32)>,
 ) {
     if (n as u64) < limit {
-        pmc_parallel::sort::radix_sort_by_key2(
+        pmc_parallel::sort::radix_sort_by_key2_with(
             keyed,
             |&(pair, _, _)| pair,
             |&(_, side, e)| {
                 ((side as u64) << 63) | ((decomp.pos_of(e) as u64) << 32) | e as u64
             },
+            scratch,
         );
     } else {
         keyed.par_sort_unstable_by_key(|&(pair, side, e)| (pair, side, decomp.pos_of(e), e));
@@ -320,19 +339,27 @@ fn sort_join_keys_with_limit(
 }
 
 /// Minimum over `r x s` where `r`, `s` are vertical chains from two
-/// distinct decomposition paths. Splits into the nested-prefix block and
-/// the incomparable block (at most one side can contain ancestors of the
-/// other, and the ancestor prefix is uniform across the other list — see
-/// DESIGN.md).
-fn pair_minimum(q: &CutQuery<'_>, r: &[u32], s: &[u32], algo: RowMinimaAlgo, meter: &Meter) -> Best {
+/// distinct decomposition paths, handed in as sorted join-run slices
+/// (`(pair, side, edge)` tuples; only `.2` is read). Working directly on
+/// the run slices means the join jobs materialize no per-pair edge
+/// lists. Splits into the nested-prefix block and the incomparable
+/// block (at most one side can contain ancestors of the other, and the
+/// ancestor prefix is uniform across the other list — see DESIGN.md).
+fn pair_minimum(
+    q: &CutQuery<'_>,
+    r: &[(u64, u32, u32)],
+    s: &[(u64, u32, u32)],
+    algo: RowMinimaAlgo,
+    meter: &Meter,
+) -> Best {
     let tree = q.tree();
     // Swap so that no edge of `s` is an ancestor of an edge of `r`.
     // INVARIANT: chains handed to pair_minimum are non-empty (the
     // interest search never emits an empty chain).
-    let last_r = *r.last().expect("non-empty chain");
-    let (r, s) = if tree.is_ancestor(s[0], last_r) { (s, r) } else { (r, s) };
+    let last_r = r.last().expect("non-empty chain").2;
+    let (r, s) = if tree.is_ancestor(s[0].2, last_r) { (s, r) } else { (r, s) };
     // Nested prefix: r[..k] are ancestors of every edge in s.
-    let k = r.partition_point(|&e| tree.is_ancestor(e, s[0]));
+    let k = r.partition_point(|&(_, _, e)| tree.is_ancestor(e, s[0].2));
     let mut best = Best::NONE;
     if k > 0 {
         // Nested block: supermodular orientation.
@@ -341,10 +368,10 @@ fn pair_minimum(q: &CutQuery<'_>, r: &[u32], s: &[u32], algo: RowMinimaAlgo, met
             k,
             s.len(),
             Orient::Supermodular,
-            |i, j| q.cut(r[i], s[j], meter),
+            |i, j| q.cut(r[i].2, s[j].2, meter),
             meter,
         ) {
-            best = best.min(Best { value: loc.value, e: r[loc.row], f: s[loc.col] });
+            best = best.min(Best { value: loc.value, e: r[loc.row].2, f: s[loc.col].2 });
         }
     }
     if k < r.len() {
@@ -355,10 +382,10 @@ fn pair_minimum(q: &CutQuery<'_>, r: &[u32], s: &[u32], algo: RowMinimaAlgo, met
             rr.len(),
             s.len(),
             Orient::Submodular,
-            |i, j| q.cut(rr[i], s[j], meter),
+            |i, j| q.cut(rr[i].2, s[j].2, meter),
             meter,
         ) {
-            best = best.min(Best { value: loc.value, e: rr[loc.row], f: s[loc.col] });
+            best = best.min(Best { value: loc.value, e: rr[loc.row].2, f: s[loc.col].2 });
         }
     }
     best
@@ -604,7 +631,7 @@ mod tests {
             expect.sort_unstable_by_key(|&(pair, side, e)| {
                 (pair, side, decomp.pos_of(e), e)
             });
-            sort_join_keys(&mut keyed, &decomp, n);
+            sort_join_keys(&mut keyed, &decomp, n, &mut SortScratch::new());
             assert_eq!(keyed, expect, "trial {trial} (n={n})");
         }
     }
@@ -639,13 +666,14 @@ mod tests {
                 }
             }
         }
+        let mut scratch = SortScratch::new();
         let mut via_radix = keyed.clone();
-        sort_join_keys_with_limit(&mut via_radix, &decomp, n, u64::MAX);
+        sort_join_keys_with_limit(&mut via_radix, &decomp, n, u64::MAX, &mut scratch);
         let mut via_cmp = keyed.clone();
-        sort_join_keys_with_limit(&mut via_cmp, &decomp, n, 0); // n >= 0: fallback
+        sort_join_keys_with_limit(&mut via_cmp, &decomp, n, 0, &mut scratch); // n >= 0: fallback
         assert_eq!(via_radix, via_cmp, "guard sides must agree");
         // And the production entry point takes the radix side here.
-        sort_join_keys(&mut keyed, &decomp, n);
+        sort_join_keys(&mut keyed, &decomp, n, &mut scratch);
         assert_eq!(keyed, via_radix);
     }
 

@@ -436,7 +436,7 @@ where
         for j in 0..cols {
             meter.bump(CostKind::MongeEntry);
             let v = f(i, j);
-            if best.map_or(true, |b| v < b.value) {
+            if best.is_none_or(|b| v < b.value) {
                 best = Some(Located { row: i, col: j, value: v });
             }
         }
@@ -454,7 +454,7 @@ where
         for j in i + 1..k {
             meter.bump(CostKind::MongeEntry);
             let v = f(i, j);
-            if best.map_or(true, |b| v < b.value) {
+            if best.is_none_or(|b| v < b.value) {
                 best = Some(Located { row: i, col: j, value: v });
             }
         }

@@ -70,7 +70,7 @@ where
         let mut best: Vec<Option<(K, u32)>> = vec![None; n];
         for (root, k, i) in candidates {
             let slot = &mut best[root as usize];
-            if slot.map_or(true, |s| (k, i) < s) {
+            if slot.is_none_or(|s| (k, i) < s) {
                 *slot = Some((k, i));
             }
         }

@@ -9,12 +9,42 @@
 //! per-chunk histograms combined by a scan — `O(n)` work per digit and
 //! logarithmic depth per digit modulo chunk granularity. A pair form
 //! [`radix_sort_by_key`] carries a payload.
+//!
+//! Every entry point has a `_with` twin taking a [`SortScratch`]: the
+//! double buffer, per-chunk histograms, and offset table live in the
+//! scratch and are recycled call-to-call, so steady-state sorts of a
+//! stable size perform no heap allocation (DESIGN.md §13).
 
+// lint: hotpath-module
 use rayon::prelude::*;
 
 const RADIX_BITS: u32 = 8;
 const BUCKETS: usize = 1 << RADIX_BITS;
 const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Reusable workspace of the radix passes: the scatter double-buffer,
+/// one histogram per chunk, and the chunk-major exclusive offsets.
+/// `resize`d (never reallocated once warm) by [`radix_passes`].
+#[derive(Debug)]
+pub struct SortScratch<T> {
+    buf: Vec<T>,
+    histograms: Vec<[u32; BUCKETS]>,
+    offsets: Vec<u64>,
+}
+
+impl<T> Default for SortScratch<T> {
+    fn default() -> Self {
+        // HOTPATH: warmup — constructing a workspace is the one-time
+        // cost its reuse amortizes away.
+        SortScratch { buf: Vec::new(), histograms: Vec::new(), offsets: Vec::new() }
+    }
+}
+
+impl<T> SortScratch<T> {
+    pub fn new() -> Self {
+        SortScratch::default()
+    }
+}
 
 /// Sort `items` ascending by `key(item)`.
 ///
@@ -27,7 +57,16 @@ where
     T: Copy + Send + Sync + Default,
     F: Fn(&T) -> u64 + Sync + Send,
 {
-    dispatch(items, &key, |v| v.sort_unstable_by_key(|it| key(it)));
+    radix_sort_by_key_with(items, key, &mut SortScratch::new());
+}
+
+/// [`radix_sort_by_key`] with a caller-owned workspace.
+pub fn radix_sort_by_key_with<T, F>(items: &mut Vec<T>, key: F, scratch: &mut SortScratch<T>)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    dispatch(items, &key, |v| v.sort_unstable_by_key(|it| key(it)), scratch);
 }
 
 /// Stable parallel LSD radix sort: equal keys keep their input order at
@@ -41,7 +80,18 @@ where
     T: Copy + Send + Sync + Default,
     F: Fn(&T) -> u64 + Sync + Send,
 {
-    dispatch(items, &key, |v| v.sort_by_key(|it| key(it)));
+    radix_sort_lsd_with(items, key, &mut SortScratch::new());
+}
+
+/// [`radix_sort_lsd`] with a caller-owned workspace. Above the cutoff
+/// the radix passes are allocation-free once the workspace is warm;
+/// below it the stable std fallback still takes its own temp buffer.
+pub fn radix_sort_lsd_with<T, F>(items: &mut Vec<T>, key: F, scratch: &mut SortScratch<T>)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    dispatch(items, &key, |v| v.sort_by_key(|it| key(it)), scratch);
 }
 
 /// The single size dispatch behind every entry point: trivial inputs
@@ -49,7 +99,7 @@ where
 /// fallback (stable or unstable — the one semantic difference between
 /// the entry points), larger inputs take the parallel pass loop. One
 /// guard, one boundary, tested at `SEQ_CUTOFF ± 1` below.
-fn dispatch<T, F, S>(items: &mut Vec<T>, key: &F, seq_fallback: S)
+fn dispatch<T, F, S>(items: &mut Vec<T>, key: &F, seq_fallback: S, scratch: &mut SortScratch<T>)
 where
     T: Copy + Send + Sync + Default,
     F: Fn(&T) -> u64 + Sync + Send,
@@ -63,7 +113,7 @@ where
         seq_fallback(items);
         return;
     }
-    radix_passes(items, key);
+    radix_passes(items, key, scratch);
 }
 
 /// Sort ascending by the composite key `(hi(item), lo(item))` — a
@@ -75,8 +125,23 @@ where
     FH: Fn(&T) -> u64 + Sync + Send,
     FL: Fn(&T) -> u64 + Sync + Send,
 {
-    radix_sort_lsd(items, lo);
-    radix_sort_lsd(items, hi);
+    radix_sort_by_key2_with(items, hi, lo, &mut SortScratch::new());
+}
+
+/// [`radix_sort_by_key2`] with a caller-owned workspace shared by both
+/// passes.
+pub fn radix_sort_by_key2_with<T, FH, FL>(
+    items: &mut Vec<T>,
+    hi: FH,
+    lo: FL,
+    scratch: &mut SortScratch<T>,
+) where
+    T: Copy + Send + Sync + Default,
+    FH: Fn(&T) -> u64 + Sync + Send,
+    FL: Fn(&T) -> u64 + Sync + Send,
+{
+    radix_sort_lsd_with(items, lo, scratch);
+    radix_sort_lsd_with(items, hi, scratch);
 }
 
 /// The counting-sort-per-byte pass loop shared by the entry points.
@@ -86,7 +151,7 @@ where
 // site); the per-item allow keeps the workspace-level `unsafe_code`
 // lint watching everywhere else.
 #[allow(unsafe_code)]
-fn radix_passes<T, F>(items: &mut Vec<T>, key: &F)
+fn radix_passes<T, F>(items: &mut Vec<T>, key: &F, scratch: &mut SortScratch<T>)
 where
     T: Copy + Send + Sync + Default,
     F: Fn(&T) -> u64 + Sync + Send,
@@ -102,35 +167,40 @@ where
     let threads = rayon::current_num_threads().max(1);
     let chunk = n.div_ceil(4 * threads).max(1);
     let num_chunks = n.div_ceil(chunk);
-    let mut buf: Vec<T> = vec![T::default(); n];
+    // All three workspaces resize in place: after the first sort at a
+    // given (n, thread-count) profile the passes are allocation-free.
+    scratch.buf.resize(n, T::default());
+    scratch.histograms.resize(num_chunks, [0u32; BUCKETS]);
+    scratch.offsets.resize(num_chunks * BUCKETS, 0);
 
     for pass in 0..passes {
         let shift = (pass as u32) * RADIX_BITS;
-        // Per-chunk histograms.
-        let histograms: Vec<[u32; BUCKETS]> = items
-            .par_chunks(chunk)
-            .map(|c| {
-                let mut h = [0u32; BUCKETS];
-                for it in c {
+        // Per-chunk histograms, written into the recycled table.
+        {
+            let items_ref: &[T] = items;
+            scratch.histograms.par_iter_mut().enumerate().for_each(|(c, h)| {
+                *h = [0u32; BUCKETS];
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                for it in &items_ref[start..end] {
                     h[((key(it) >> shift) as usize) & (BUCKETS - 1)] += 1;
                 }
-                h
-            })
-            .collect();
+            });
+        }
         // Global bucket offsets: for stability, chunk c's bucket b region
         // starts at sum of all buckets < b plus bucket b of chunks < c.
-        let mut offsets = vec![0u64; num_chunks * BUCKETS];
         {
             let mut acc = 0u64;
             for b in 0..BUCKETS {
-                for (c, h) in histograms.iter().enumerate() {
-                    offsets[c * BUCKETS + b] = acc;
+                for (c, h) in scratch.histograms.iter().enumerate() {
+                    scratch.offsets[c * BUCKETS + b] = acc;
                     acc += h[b] as u64;
                 }
             }
         }
         // Scatter.
-        let buf_ptr = SendPtr(buf.as_mut_ptr());
+        let offsets = &scratch.offsets;
+        let buf_ptr = SendPtr(scratch.buf.as_mut_ptr());
         items.par_chunks(chunk).enumerate().for_each(|(c, chunk_items)| {
             let mut cursors = [0u64; BUCKETS];
             cursors.copy_from_slice(&offsets[c * BUCKETS..(c + 1) * BUCKETS]);
@@ -145,7 +215,7 @@ where
                 cursors[b] += 1;
             }
         });
-        std::mem::swap(items, &mut buf);
+        std::mem::swap(items, &mut scratch.buf);
     }
 }
 
@@ -292,6 +362,24 @@ mod tests {
         expect.sort_by_key(|&(h, l, _)| (h, l));
         radix_sort_by_key2(&mut v, |&(h, _, _)| h, |&(_, l, _)| l);
         assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_sizes() {
+        // One workspace serving many sorts of different sizes (crossing
+        // the cutoff both ways) must match the scratch-free entry point
+        // exactly, stability included.
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut scratch = SortScratch::new();
+        for n in [100usize, 30_000, 500, SEQ_CUTOFF, 20_000, SEQ_CUTOFF - 1] {
+            let base: Vec<(u64, u64)> =
+                (0..n as u64).map(|i| (rng.random_range(0..9), i)).collect();
+            let mut fresh = base.clone();
+            radix_sort_lsd(&mut fresh, |&(k, _)| k);
+            let mut reused = base.clone();
+            radix_sort_lsd_with(&mut reused, |&(k, _)| k, &mut scratch);
+            assert_eq!(fresh, reused, "n={n}");
+        }
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub mod prelude {
     };
     pub use pmc_fault::{Deadline, DegradeReason, FaultPlan, PmcError, SolveQuality};
     pub use pmc_monge::RowMinimaStrategy;
-    pub use pmc_parallel::{CostKind, CostReport, Meter};
+    pub use pmc_parallel::{
+        with_scratch, CostKind, CostReport, Meter, Scratch, ScratchPool, SortScratch,
+    };
     pub use pmc_tree::{LcaEngine, LcaStrategy};
 }

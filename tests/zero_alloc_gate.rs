@@ -1,0 +1,77 @@
+//! The zero-allocation gate as an integration test: with the counting
+//! allocator installed for this whole test binary, the steady-state
+//! batched query path (`cut_batch_into` / `cov_batch_into` on a warm
+//! `TreeContext`) must perform exactly zero heap allocations
+//! (DESIGN.md §13).
+//!
+//! One `#[test]` only: the gauge is process-global, so sibling tests
+//! running on harness threads would pollute the counters. The bench-bin
+//! twin of this gate is `pmc-bench --bin allocs --smoke`.
+
+use parallel_mincut::prelude::*;
+use pmc_bench::alloc_meter::{self, CountingAlloc};
+use pmc_mincut::engine::TreeContext;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_batch_queries_allocate_nothing() {
+    let n = 400usize;
+    let (graph, tree_edges) = pmc_bench::workloads::graph_with_tree(n, 0.5, 31);
+    let ctx = TreeContext::from_edges(
+        &graph,
+        &tree_edges,
+        0,
+        &TwoRespectParams::default(),
+        &Meter::disabled(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(9);
+    // Above the grouping cutoff, with duplicates: the full fused path.
+    let hot: Vec<(u32, u32)> = (0..64)
+        .map(|_| (rng.random_range(1..n as u32), rng.random_range(1..n as u32)))
+        .collect();
+    let pairs: Vec<(u32, u32)> =
+        (0..2_000).map(|_| hot[rng.random_range(0..hot.len())]).collect();
+    let es: Vec<u32> = (0..2_000).map(|_| rng.random_range(1..n as u32)).collect();
+    let meter = Meter::disabled();
+
+    // Warm-up sizes every scratch buffer (and must visibly allocate —
+    // otherwise the allocator isn't counting and the gate is vacuous).
+    let mut cut_out: Vec<u64> = Vec::new();
+    let mut cov_out: Vec<u64> = Vec::new();
+    let (_, warm) = alloc_meter::measure(|| {
+        ctx.cut_batch_into(&pairs, &mut cut_out, &meter);
+        ctx.cov_batch_into(&es, &mut cov_out);
+    });
+    assert!(warm.allocs > 0, "counting allocator not engaged");
+    let expect_cut = cut_out.clone();
+    let expect_cov = cov_out.clone();
+
+    // Steady state: repeated batches reuse every warm buffer.
+    for round in 0..5 {
+        let (_, cut_gauge) =
+            alloc_meter::measure(|| ctx.cut_batch_into(&pairs, &mut cut_out, &meter));
+        let (_, cov_gauge) = alloc_meter::measure(|| ctx.cov_batch_into(&es, &mut cov_out));
+        assert_eq!(
+            (cut_gauge.allocs, cut_gauge.peak_growth_bytes),
+            (0, 0),
+            "round {round}: cut_batch_into allocated"
+        );
+        assert_eq!(
+            (cov_gauge.allocs, cov_gauge.peak_growth_bytes),
+            (0, 0),
+            "round {round}: cov_batch_into allocated"
+        );
+        assert_eq!(cut_out, expect_cut, "round {round}: values drifted");
+        assert_eq!(cov_out, expect_cov, "round {round}: values drifted");
+    }
+
+    // The values the zero-alloc path produced are the real ones.
+    for (i, &(e, f)) in pairs.iter().enumerate().step_by(97) {
+        assert_eq!(expect_cut[i], ctx.cut(e, f, &meter), "pair ({e},{f})");
+    }
+}

@@ -157,6 +157,9 @@ fn new_default_context() -> Arc<PoolContext> {
 /// where environment reads would be a nondeterministic input).
 static DEFAULT_CONTEXT: Lazy<Arc<PoolContext>> = Lazy::new(new_default_context);
 
+// The two Lazy facades disagree on `get()`: std returns `&Arc`, the
+// model checker hands back an owned guard — `&*` normalizes both.
+#[allow(clippy::borrow_deref_ref)]
 fn default_context() -> Arc<PoolContext> {
     Arc::clone(&*DEFAULT_CONTEXT.get())
 }
